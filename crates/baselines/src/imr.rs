@@ -1,0 +1,327 @@
+//! IMR: evolutionary (genetic-algorithm) loop search (Liu et al., TPDS 2016).
+//!
+//! IMR evolves a population of candidate ring sets through random mutation
+//! and crossover, selecting on a fitness function that rewards connectivity
+//! and short rings. The DRL paper's §3.1 critique — which this module lets
+//! you reproduce experimentally — is that the search is *unreliable*: it
+//! ignores past experience, can produce very long loops, and has no
+//! mechanism to enforce wiring (node-overlapping) constraints.
+//!
+//! The original IMR evolves arbitrary closed rings; this reimplementation
+//! uses rectangular loops (the same action space as REC and DRL) so all
+//! three methods are directly comparable on every metric in the workspace.
+//! The defining trait — randomized evolutionary search with a fitness
+//! objective, no constraint enforcement by default — is preserved (see
+//! `DESIGN.md` §6).
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rlnoc_topology::{Direction, Grid, HopMatrix, RectLoop, Topology};
+
+/// Tunables for the IMR genetic search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImrConfig {
+    /// Individuals per generation.
+    pub population: usize,
+    /// Number of generations to evolve.
+    pub generations: usize,
+    /// Loops per individual in the initial random population.
+    pub initial_loops: usize,
+    /// Probability that a child is mutated (per mutation operator draw).
+    pub mutation_rate: f64,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// Weight of the average-hop-count term in the fitness.
+    pub hop_weight: f64,
+    /// Weight of the total-wire-length term (ring length pressure, as in
+    /// IMR's inter-core-distance / ring-length objective).
+    pub wire_weight: f64,
+    /// Optional node-overlapping cap. IMR proper has none (`None`); when
+    /// set, violations are *penalized* in fitness — but, as the paper notes,
+    /// such soft constraints "are likely to be violated to achieve better
+    /// performance".
+    pub overlap_cap: Option<u32>,
+    /// Penalty per unit of overlap violation when `overlap_cap` is set.
+    pub overlap_penalty: f64,
+}
+
+impl Default for ImrConfig {
+    fn default() -> Self {
+        ImrConfig {
+            population: 32,
+            generations: 60,
+            initial_loops: 12,
+            mutation_rate: 0.35,
+            tournament: 4,
+            hop_weight: 1.0,
+            wire_weight: 0.02,
+            overlap_cap: None,
+            overlap_penalty: 5.0,
+        }
+    }
+}
+
+/// Result of an IMR run.
+#[derive(Debug, Clone)]
+pub struct ImrOutcome {
+    /// The best topology found.
+    pub topology: Topology,
+    /// Its fitness (lower is better).
+    pub fitness: f64,
+    /// Whether the best individual is fully connected.
+    pub fully_connected: bool,
+    /// Best fitness per generation, for convergence plots.
+    pub history: Vec<f64>,
+}
+
+/// The IMR genetic search over rectangular loop sets.
+#[derive(Debug)]
+pub struct ImrSearch {
+    grid: Grid,
+    config: ImrConfig,
+    rng: StdRng,
+}
+
+/// One individual: an ordered set of loops (duplicates are culled at
+/// evaluation time).
+type Genome = Vec<RectLoop>;
+
+impl ImrSearch {
+    /// Creates a search over `grid` with `config`, seeded deterministically.
+    pub fn new(grid: Grid, config: ImrConfig, seed: u64) -> Self {
+        ImrSearch {
+            grid,
+            config,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Runs the evolutionary loop and returns the best design found.
+    pub fn run(mut self) -> ImrOutcome {
+        let mut population: Vec<Genome> = (0..self.config.population)
+            .map(|_| self.random_genome())
+            .collect();
+        let mut history = Vec::with_capacity(self.config.generations);
+        let mut best: Option<(f64, Genome)> = None;
+
+        for _ in 0..self.config.generations {
+            let scored: Vec<(f64, &Genome)> = population
+                .iter()
+                .map(|g| (self.fitness(g), g))
+                .collect();
+            let gen_best = scored
+                .iter()
+                .min_by(|a, b| a.0.total_cmp(&b.0))
+                .expect("population is non-empty");
+            if best.as_ref().is_none_or(|(f, _)| gen_best.0 < *f) {
+                best = Some((gen_best.0, gen_best.1.clone()));
+            }
+            history.push(gen_best.0);
+
+            let fitnesses: Vec<f64> = scored.iter().map(|(f, _)| *f).collect();
+            let mut next = Vec::with_capacity(population.len());
+            // Elitism: carry the best individual forward unchanged.
+            next.push(gen_best.1.clone());
+            while next.len() < population.len() {
+                let a = self.tournament_select(&fitnesses);
+                let b = self.tournament_select(&fitnesses);
+                let mut child = self.crossover(&population[a], &population[b]);
+                self.mutate(&mut child);
+                next.push(child);
+            }
+            population = next;
+        }
+
+        let (fitness, genome) = best.expect("at least one generation ran");
+        let topology = self.realize(&genome);
+        ImrOutcome {
+            fully_connected: topology.is_fully_connected(),
+            topology,
+            fitness,
+            history,
+        }
+    }
+
+    /// Builds a [`Topology`] from a genome, skipping duplicate loops.
+    fn realize(&self, genome: &Genome) -> Topology {
+        let mut topo = Topology::new(self.grid);
+        for &l in genome {
+            let _ = topo.add_loop(l); // duplicates are simply skipped
+        }
+        topo
+    }
+
+    /// Fitness (lower is better): unconnected pairs dominate; among
+    /// connected designs, average hops plus wire-length pressure plus
+    /// (optional) overlap-violation penalty.
+    fn fitness(&self, genome: &Genome) -> f64 {
+        let topo = self.realize(genome);
+        let hops: &HopMatrix = topo.hop_matrix();
+        let n = self.grid.len();
+        let total_pairs = (n * (n - 1)) as f64;
+        let unconnected = total_pairs - hops.connected_pairs() as f64;
+        let mut f = 10.0 * self.grid.unconnected_hops() as f64 * unconnected / total_pairs;
+        f += self.config.hop_weight * hops.average_hops();
+        f += self.config.wire_weight * topo.total_wire_length() as f64;
+        if let Some(cap) = self.config.overlap_cap {
+            let violation: u32 = topo
+                .overlaps()
+                .iter()
+                .map(|&o| o.saturating_sub(cap))
+                .sum();
+            f += self.config.overlap_penalty * f64::from(violation);
+        }
+        f
+    }
+
+    fn tournament_select(&mut self, fitnesses: &[f64]) -> usize {
+        let mut best = self.rng.gen_range(0..fitnesses.len());
+        for _ in 1..self.config.tournament {
+            let c = self.rng.gen_range(0..fitnesses.len());
+            if fitnesses[c] < fitnesses[best] {
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Uniform crossover: each parent contributes each of its loops with
+    /// probability one half; the child is clamped to the larger parent size.
+    fn crossover(&mut self, a: &Genome, b: &Genome) -> Genome {
+        let cap = a.len().max(b.len()).max(1);
+        let mut child = Vec::with_capacity(cap);
+        for &l in a.iter().chain(b) {
+            if child.len() >= cap {
+                break;
+            }
+            if self.rng.gen_bool(0.5) {
+                child.push(l);
+            }
+        }
+        if child.is_empty() {
+            child.push(self.random_loop());
+        }
+        child
+    }
+
+    /// Random mutation: add, remove, redirect, or reshape a loop.
+    fn mutate(&mut self, genome: &mut Genome) {
+        while self.rng.gen_bool(self.config.mutation_rate) {
+            match self.rng.gen_range(0..4u8) {
+                0 => genome.push(self.random_loop()),
+                1 => {
+                    if genome.len() > 1 {
+                        let i = self.rng.gen_range(0..genome.len());
+                        genome.swap_remove(i);
+                    }
+                }
+                2 => {
+                    if !genome.is_empty() {
+                        let i = self.rng.gen_range(0..genome.len());
+                        genome[i] = genome[i].reversed();
+                    }
+                }
+                _ => {
+                    if !genome.is_empty() {
+                        let i = self.rng.gen_range(0..genome.len());
+                        genome[i] = self.random_loop();
+                    }
+                }
+            }
+        }
+    }
+
+    fn random_genome(&mut self) -> Genome {
+        (0..self.config.initial_loops)
+            .map(|_| self.random_loop())
+            .collect()
+    }
+
+    fn random_loop(&mut self) -> RectLoop {
+        let (w, h) = (self.grid.width(), self.grid.height());
+        loop {
+            let x1 = self.rng.gen_range(0..w);
+            let x2 = self.rng.gen_range(0..w);
+            let y1 = self.rng.gen_range(0..h);
+            let y2 = self.rng.gen_range(0..h);
+            let dir = if self.rng.gen_bool(0.5) {
+                Direction::Clockwise
+            } else {
+                Direction::Counterclockwise
+            };
+            if let Ok(l) = RectLoop::new(x1, y1, x2, y2, dir) {
+                return l;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> ImrConfig {
+        ImrConfig {
+            population: 16,
+            generations: 30,
+            initial_loops: 8,
+            ..ImrConfig::default()
+        }
+    }
+
+    #[test]
+    fn imr_connects_small_grid() {
+        let out = ImrSearch::new(Grid::square(4).unwrap(), quick_config(), 7).run();
+        assert!(out.fully_connected, "4x4 should be solvable in 30 gens");
+        assert!(out.topology.average_hops() < 20.0);
+    }
+
+    #[test]
+    fn imr_deterministic_for_seed() {
+        let a = ImrSearch::new(Grid::square(4).unwrap(), quick_config(), 42).run();
+        let b = ImrSearch::new(Grid::square(4).unwrap(), quick_config(), 42).run();
+        assert_eq!(a.topology.loops(), b.topology.loops());
+        assert_eq!(a.history, b.history);
+    }
+
+    #[test]
+    fn imr_history_is_monotone_with_elitism() {
+        let out = ImrSearch::new(Grid::square(4).unwrap(), quick_config(), 3).run();
+        for w in out.history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "elitism keeps best fitness monotone");
+        }
+    }
+
+    #[test]
+    fn imr_ignores_overlap_cap_by_default() {
+        // Reproduces the paper's critique: without constraint handling the
+        // GA freely exceeds tight wiring budgets.
+        let out = ImrSearch::new(Grid::square(4).unwrap(), quick_config(), 9).run();
+        assert!(out.topology.max_overlap() > 0);
+        // (No assertion on the cap — the point is that nothing enforces it.)
+    }
+
+    #[test]
+    fn imr_soft_cap_reduces_overlap() {
+        let mut capped = quick_config();
+        capped.overlap_cap = Some(4);
+        capped.overlap_penalty = 50.0;
+        let free = ImrSearch::new(Grid::square(4).unwrap(), quick_config(), 11).run();
+        let tight = ImrSearch::new(Grid::square(4).unwrap(), capped, 11).run();
+        assert!(
+            tight.topology.max_overlap() <= free.topology.max_overlap(),
+            "soft penalty should not increase overlap (free {}, tight {})",
+            free.topology.max_overlap(),
+            tight.topology.max_overlap()
+        );
+    }
+
+    #[test]
+    fn random_loops_are_valid() {
+        let mut s = ImrSearch::new(Grid::new(5, 3).unwrap(), quick_config(), 1);
+        for _ in 0..200 {
+            let l = s.random_loop();
+            assert!(l.check_on(&s.grid).is_ok());
+        }
+    }
+}

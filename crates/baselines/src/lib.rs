@@ -1,0 +1,25 @@
+//! Prior routerless NoC design methods used as baselines in the paper.
+//!
+//! The paper (§3.1) contrasts its DRL framework against the two published
+//! approaches to routerless loop placement:
+//!
+//! - [`rec`]: **REC** — the *recursive layering* construction of Alazemi et
+//!   al. (HPCA 2018), which deterministically adds loop groups layer by
+//!   layer and always produces a node overlapping of exactly `2·(N−1)` on
+//!   an `N×N` grid. It is the state of the art the DRL design is measured
+//!   against throughout the evaluation.
+//! - [`imr`]: **IMR** — the *isolated multi-ring* evolutionary approach of
+//!   Liu et al., a genetic algorithm with random mutation whose search
+//!   ignores past experience and wiring constraints (the paper's critique).
+//!
+//! Both produce [`rlnoc_topology::Topology`] values, so they can be fed to
+//! the same simulator, power model, and metrics as DRL-generated designs.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod imr;
+pub mod rec;
+
+pub use imr::{ImrConfig, ImrOutcome, ImrSearch};
+pub use rec::{rec_topology, RecError};

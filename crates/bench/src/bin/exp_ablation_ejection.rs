@@ -1,0 +1,60 @@
+//! Ablation — ejection bandwidth at the routerless node interface.
+//!
+//! REC (and this reproduction's default model) gives every loop its own
+//! ejection link, so arriving flits never wait; a cheaper shared-port
+//! interface deflects flits around their loop when the port is busy. This
+//! ablation quantifies the latency and deflection cost of shared ports,
+//! motivating the paper's interface design.
+//!
+//! Usage: `exp_ablation_ejection [n] [rate] [measure_cycles]`
+//! (defaults 8, 0.20, 4000).
+
+use rlnoc_bench::{drl_topology, print_table, s, write_csv, Effort};
+use rlnoc_sim::traffic::Pattern;
+use rlnoc_sim::{run_synthetic, RouterlessSim, SimConfig};
+use rlnoc_topology::Grid;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    let rate: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0.20);
+    let measure: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(4_000);
+    let grid = Grid::square(n).expect("grid");
+    let topo = drl_topology(grid, 2 * (n as u32 - 1), Effort::from_env(), 3);
+    let cfg = SimConfig {
+        warmup: 500,
+        measure,
+        drain: 4_000,
+        ..SimConfig::routerless()
+    };
+
+    let mut rows = Vec::new();
+    for limit in [Some(1usize), Some(2), Some(4), None] {
+        let mut sim = RouterlessSim::new(&topo);
+        sim.set_ejection_limit(limit);
+        let m = run_synthetic(&mut sim, Pattern::UniformRandom, rate, &cfg, 11);
+        rows.push(vec![
+            limit.map_or_else(|| s("per-loop (REC)"), |l| format!("{l}/node")),
+            format!("{:.2}", m.avg_packet_latency()),
+            format!("{:.2}", m.avg_hops()),
+            format!("{:.3}", m.accepted_throughput()),
+            s(sim.deflections()),
+            format!("{:.3}", m.delivery_ratio()),
+        ]);
+    }
+
+    let headers = [
+        "ejection_ports",
+        "latency",
+        "hops",
+        "accepted",
+        "deflections",
+        "delivery",
+    ];
+    print_table(
+        &format!("Ablation: ejection bandwidth, {n}x{n} DRL design, uniform {rate}"),
+        &headers,
+        &rows,
+    );
+    write_csv("exp_ablation_ejection", &headers, &rows);
+}

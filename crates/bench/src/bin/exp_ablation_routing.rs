@@ -1,0 +1,74 @@
+//! Ablation — source-routing policy (see `DESIGN.md` §4).
+//!
+//! Routerless NoCs route entirely at the source via a per-destination loop
+//! table. The paper's designs implicitly use shortest-loop tables; this
+//! ablation measures what tie-aware load balancing buys on adversarial
+//! patterns, where shortest-only tables concentrate whole traffic classes
+//! onto single loops.
+//!
+//! Usage: `exp_ablation_routing [n] [measure_cycles]` (defaults 8, 3000).
+
+use rlnoc_bench::{drl_topology, print_table, s, write_csv, Effort};
+use rlnoc_sim::sweep::latency_sweep;
+use rlnoc_sim::traffic::Pattern;
+use rlnoc_sim::{RouterlessSim, SimConfig};
+use rlnoc_topology::{Grid, RoutingPolicy, RoutingTable};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    let measure: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(3_000);
+    let grid = Grid::square(n).expect("grid");
+    let topo = drl_topology(grid, 2 * (n as u32 - 1), Effort::from_env(), 3);
+    let cfg = SimConfig {
+        warmup: 500,
+        measure,
+        drain: 2_000,
+        ..SimConfig::routerless()
+    };
+
+    let policies = [
+        ("shortest", RoutingPolicy::Shortest),
+        ("balanced(0)", RoutingPolicy::Balanced { slack: 0 }),
+        ("balanced(2)", RoutingPolicy::Balanced { slack: 2 }),
+        ("balanced(4)", RoutingPolicy::Balanced { slack: 4 }),
+    ];
+
+    let mut rows = Vec::new();
+    for pattern in [
+        Pattern::UniformRandom,
+        Pattern::BitComplement,
+        Pattern::Transpose,
+        Pattern::Tornado,
+    ] {
+        for (name, policy) in policies {
+            let table = RoutingTable::build_with(&topo, policy);
+            let avg = table.average_hops().unwrap_or(0.0);
+            let sweep = latency_sweep(
+                || RouterlessSim::with_routing(&topo, table.clone()),
+                pattern,
+                &cfg,
+                0.02,
+                0.02,
+                0.8,
+                4.0,
+                5,
+            );
+            rows.push(vec![
+                format!("{pattern:?}"),
+                s(name),
+                format!("{avg:.3}"),
+                format!("{:.2}", sweep.zero_load_latency),
+                format!("{:.3}", sweep.saturation),
+            ]);
+        }
+    }
+
+    let headers = ["pattern", "routing", "table_hops", "zero_load_latency", "saturation"];
+    print_table(
+        &format!("Ablation: routing policy on the {n}x{n} DRL design"),
+        &headers,
+        &rows,
+    );
+    write_csv("exp_ablation_routing", &headers, &rows);
+}

@@ -1,0 +1,126 @@
+//! Ablation — MCTS-guided search vs experience replay vs pure greedy
+//! (the paper's §4.5 design-choice discussion).
+//!
+//! The paper argues the Monte-Carlo tree beats replay buffers for design
+//! exploration because it preserves the correlation between design states.
+//! This ablation runs three agents under the same cycle budget on the same
+//! environment:
+//!
+//! - **mcts**: the full framework (DNN + tree + ε-greedy),
+//! - **replay**: DNN + replay-buffer training, actions sampled from the
+//!   policy with the same ε-greedy override, no tree,
+//! - **greedy**: ε = 1 (Algorithm 1 only, no learning).
+//!
+//! Usage: `exp_ablation_search [n] [cycles]` (defaults 4, 8).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rlnoc_bench::{f3, print_table, s, write_csv};
+use rlnoc_core::explorer::{run_episode, Explorer, ExplorerConfig};
+use rlnoc_core::mcts::Mcts;
+use rlnoc_core::policy::{PolicyAgent, TrainConfig};
+use rlnoc_core::replay::{train_on_replay, ReplayBuffer};
+use rlnoc_core::routerless::RouterlessEnv;
+use rlnoc_core::Environment;
+use rlnoc_topology::Grid;
+
+struct Outcome {
+    valid: usize,
+    best_hops: Option<f64>,
+}
+
+fn summarize(results: Vec<(bool, f64)>) -> Outcome {
+    let valid = results.iter().filter(|(ok, _)| *ok).count();
+    let best_hops = results
+        .iter()
+        .filter(|(ok, _)| *ok)
+        .map(|&(_, h)| h)
+        .min_by(f64::total_cmp);
+    Outcome { valid, best_hops }
+}
+
+fn run_mcts(env: &RouterlessEnv, config: &ExplorerConfig, cycles: usize, seed: u64) -> Outcome {
+    let mut cfg = config.clone();
+    cfg.cycles = cycles;
+    let report = Explorer::new(env.clone(), cfg, seed).run();
+    summarize(
+        report
+            .designs
+            .into_iter()
+            .map(|d| (d.successful, d.env.average_hops()))
+            .collect(),
+    )
+}
+
+fn run_replay(env: &RouterlessEnv, config: &ExplorerConfig, cycles: usize, seed: u64) -> Outcome {
+    let mut env = env.clone();
+    let mut agent = PolicyAgent::for_env(&env, config.train.clone(), seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+    let mut buffer = ReplayBuffer::new(2048);
+    // A throwaway tree that is never trained on: selection still needs a
+    // source of actions, so we reuse the episode runner with an empty tree
+    // per cycle (no knowledge carries over — that is the ablation).
+    let mut results = Vec::new();
+    for _ in 0..cycles {
+        let mut blank_tree = Mcts::new(config.mcts);
+        let (episode, _path) = run_episode(&mut env, &mut agent, &mut blank_tree, config, &mut rng);
+        buffer.push_episode(&env, &episode, config.train.gamma);
+        for _ in 0..4 {
+            train_on_replay(&mut agent, &buffer, 16, &mut rng);
+        }
+        results.push((env.is_successful(), env.average_hops()));
+    }
+    summarize(results)
+}
+
+fn run_greedy(env: &RouterlessEnv, cycles: usize) -> Outcome {
+    // Deterministic: every cycle produces the same design.
+    let mut e = env.clone();
+    while let Some(a) = e.greedy_action() {
+        e.apply(a);
+    }
+    let ok = e.is_fully_connected();
+    summarize(vec![(ok, e.average_hops()); cycles])
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let cycles: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    let grid = Grid::square(n).expect("grid");
+    let cap = 2 * (n as u32 - 1);
+    let env = RouterlessEnv::new(grid, cap);
+    let mut config = ExplorerConfig::fast();
+    config.max_steps = (grid.len() / 8).max(4);
+    config.epsilon = 0.3;
+    config.train = TrainConfig::default();
+
+    let rows: Vec<Vec<String>> = [
+        ("mcts", run_mcts(&env, &config, cycles, 11)),
+        ("replay", run_replay(&env, &config, cycles, 11)),
+        ("greedy", run_greedy(&env, cycles)),
+    ]
+    .into_iter()
+    .map(|(name, o)| {
+        vec![
+            s(name),
+            s(cycles),
+            s(o.valid),
+            o.best_hops.map_or_else(|| s("-"), f3),
+        ]
+    })
+    .collect();
+
+    let headers = ["strategy", "cycles", "valid_designs", "best_hops"];
+    print_table(
+        &format!("Ablation (§4.5): search memory, {n}x{n} cap {cap}"),
+        &headers,
+        &rows,
+    );
+    write_csv("exp_ablation_search", &headers, &rows);
+    println!(
+        "\nReading: greedy is reliable but fixed; replay learns yet forgets design\n\
+         structure between cycles; the tree accumulates it (the paper's argument\n\
+         for MCTS over experience replay)."
+    );
+}

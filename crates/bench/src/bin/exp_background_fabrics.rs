@@ -1,0 +1,50 @@
+//! §2.1 background — hop-count scaling of the fabric families the paper
+//! surveys before motivating routerless designs: single ring, hierarchical
+//! ring, mesh, REC, and DRL.
+//!
+//! Usage: `exp_background_fabrics [max_n]` (default 10, even sizes only).
+
+use rlnoc_baselines::rec_topology;
+use rlnoc_bench::{f3, greedy_rollout, print_table, s, write_csv};
+use rlnoc_topology::reference::{single_ring_average_hops, HierarchicalRing};
+use rlnoc_topology::{mesh, Grid};
+
+fn main() {
+    let max_n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(10);
+
+    let mut rows = Vec::new();
+    let mut n = 4;
+    while n <= max_n {
+        let grid = Grid::square(n).expect("grid");
+        let hier = HierarchicalRing::new(grid).expect("n ≥ 2");
+        let rec = rec_topology(grid).expect("REC");
+        let drl = greedy_rollout(grid, 2 * (n as u32 - 1));
+        rows.push(vec![
+            format!("{n}x{n}"),
+            f3(single_ring_average_hops(grid.len())),
+            f3(hier.average_hops()),
+            f3(mesh::average_hops(&grid)),
+            f3(rec.average_hops()),
+            f3(drl.average_hops()),
+        ]);
+        n += 2;
+    }
+
+    let headers = ["size", "single_ring", "hier_ring", "mesh", "REC", "DRL"];
+    print_table(
+        "Background (§2.1): average hop count by fabric family",
+        &headers,
+        &rows,
+    );
+    write_csv("exp_background_fabrics", &headers, &rows);
+    println!(
+        "\nReading: single rings scale linearly in node count; hierarchy helps but\n\
+         routers pay per-hop latency; routerless designs approach mesh hop counts\n\
+         while keeping single-cycle hops (§2.1's motivation; see fig10/fig11 for\n\
+         the latency consequences).\nNote: {}",
+        s("mesh hops assume 2-cycle routers in latency terms — compare via fig10.")
+    );
+}

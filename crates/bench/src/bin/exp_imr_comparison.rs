@@ -1,0 +1,92 @@
+//! §6.7 / §3.1 — the IMR genetic algorithm vs REC vs DRL.
+//!
+//! The paper cites IMR's weaknesses (random mutation, no constraint
+//! handling, unreliable search) from the REC study rather than re-running
+//! it; this reproduction re-runs a rectangular-loop IMR directly and
+//! measures hop count, constraint violations, and search reliability
+//! against REC and the DRL rollout at equal wiring budgets.
+//!
+//! Usage: `exp_imr_comparison [n] [generations]` (defaults 8, 80).
+
+use rlnoc_baselines::{rec_topology, ImrConfig, ImrSearch};
+use rlnoc_bench::{drl_topology, f3, print_table, s, write_csv, Effort};
+use rlnoc_topology::{diversity, Grid};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    let generations: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(80);
+    let grid = Grid::square(n).expect("grid");
+    let cap = 2 * (n as u32 - 1);
+
+    let rec = rec_topology(grid).expect("REC");
+    let drl = drl_topology(grid, cap, Effort::from_env(), 3);
+
+    // IMR without constraint handling (the published algorithm)...
+    let imr_free = ImrSearch::new(
+        grid,
+        ImrConfig {
+            generations,
+            initial_loops: 3 * n,
+            ..ImrConfig::default()
+        },
+        7,
+    )
+    .run();
+    // ...and with the soft overlap penalty bolted on (the paper's §3.1
+    // point: soft constraints get traded away for fitness).
+    let imr_soft = ImrSearch::new(
+        grid,
+        ImrConfig {
+            generations,
+            initial_loops: 3 * n,
+            overlap_cap: Some(cap),
+            overlap_penalty: 10.0,
+            ..ImrConfig::default()
+        },
+        7,
+    )
+    .run();
+
+    let mut rows = Vec::new();
+    for (name, topo, connected) in [
+        ("REC", &rec, true),
+        ("DRL", &drl, drl.is_fully_connected()),
+        ("IMR", &imr_free.topology, imr_free.fully_connected),
+        ("IMR+softcap", &imr_soft.topology, imr_soft.fully_connected),
+    ] {
+        rows.push(vec![
+            s(name),
+            if connected { f3(topo.average_hops()) } else { s("disconnected") },
+            s(topo.loops().len()),
+            s(topo.max_overlap()),
+            s(topo.max_overlap() <= cap),
+            f3(diversity::average_path_diversity(topo)),
+        ]);
+    }
+
+    let headers = [
+        "method",
+        "avg_hops",
+        "loops",
+        "max_overlap",
+        format!("within_cap_{cap}").leak(),
+        "path_diversity",
+    ];
+    print_table(
+        &format!("IMR vs REC vs DRL, {n}x{n}, {generations} GA generations"),
+        &headers,
+        &rows,
+    );
+    write_csv("exp_imr_comparison", &headers, &rows);
+    println!(
+        "\nIMR fitness history (first → last): {:.2} → {:.2} over {} generations",
+        imr_free.history.first().copied().unwrap_or(0.0),
+        imr_free.history.last().copied().unwrap_or(0.0),
+        imr_free.history.len()
+    );
+    println!(
+        "Paper context: REC beats IMR by 1.25x zero-load latency and 1.61x throughput;\n\
+         IMR enforces no wiring constraint (observe max_overlap above)."
+    );
+}

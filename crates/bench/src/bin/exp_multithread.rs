@@ -1,0 +1,80 @@
+//! §6.1 — multi-threaded search efficacy: single-threaded vs
+//! multi-threaded exploration under the same cycle budget.
+//!
+//! The paper reports that in a fixed 10-hour window the multi-threaded
+//! search found 49 valid 10x10 designs vs 6 single-threaded, with 44%
+//! lower hop-count standard deviation. Here the budget is a fixed number
+//! of exploration cycles on a smaller default grid, and the comparison
+//! point is wall-clock per valid design plus result consistency.
+//!
+//! Usage: `exp_multithread [n] [cycles] [threads]` (defaults 6, 6, 4).
+
+use rlnoc_bench::{f3, print_table, s, write_csv};
+use rlnoc_core::explorer::ExplorerConfig;
+use rlnoc_core::parallel::explore_parallel;
+use rlnoc_core::routerless::RouterlessEnv;
+use rlnoc_topology::Grid;
+use std::time::Instant;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(6);
+    let cycles: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(6);
+    let threads: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let grid = Grid::square(n).expect("grid");
+    let cap = 2 * (n as u32 - 1);
+    let env = RouterlessEnv::new(grid, cap);
+    let mut config = ExplorerConfig::fast();
+    config.max_steps = (grid.len() / 8).max(4); // DNN/MCTS prefix; completion finishes
+    config.epsilon = 0.3;
+
+    let mut rows = Vec::new();
+    for t in [1usize, threads] {
+        let start = Instant::now();
+        let report = explore_parallel(&env, &config, t, cycles, 7);
+        let elapsed = start.elapsed().as_secs_f64();
+        let hops: Vec<f64> = report
+            .designs
+            .iter()
+            .filter(|d| d.successful)
+            .map(|d| d.env.average_hops())
+            .collect();
+        let mean = hops.iter().sum::<f64>() / hops.len().max(1) as f64;
+        let sd = if hops.len() > 1 {
+            (hops.iter().map(|h| (h - mean) * (h - mean)).sum::<f64>()
+                / (hops.len() - 1) as f64)
+                .sqrt()
+        } else {
+            0.0
+        };
+        rows.push(vec![
+            s(t),
+            s(cycles),
+            s(hops.len()),
+            f3(mean),
+            f3(sd),
+            format!("{elapsed:.1}s"),
+            format!("{:.1}s", elapsed / hops.len().max(1) as f64),
+        ]);
+    }
+
+    let headers = [
+        "threads",
+        "cycles",
+        "valid",
+        "mean_hops",
+        "sd_hops",
+        "wall",
+        "wall_per_valid",
+    ];
+    print_table(
+        &format!("§6.1: single vs multi-threaded exploration, {n}x{n} cap {cap}"),
+        &headers,
+        &rows,
+    );
+    write_csv("exp_multithread", &headers, &rows);
+    println!(
+        "\nPaper reference (10x10, 10 h budget): 6 valid designs single-threaded vs 49\n\
+         multi-threaded, with 44% lower hop-count SD."
+    );
+}

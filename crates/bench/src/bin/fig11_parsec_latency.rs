@@ -1,0 +1,57 @@
+//! Figure 11 — PARSEC packet latency on 4x4 and 8x8 NoCs for Mesh-2,
+//! Mesh-1, Mesh-0, REC, and DRL.
+//!
+//! Usage: `fig11_parsec_latency [measure_cycles]` (default 15000).
+
+use rlnoc_bench::{drl_topology, print_table, s, write_csv, Effort};
+use rlnoc_baselines::rec_topology;
+use rlnoc_sim::{MeshSim, RouterlessSim, SimConfig};
+use rlnoc_topology::Grid;
+use rlnoc_workloads::{run_benchmark, Benchmark};
+
+fn main() {
+    let measure: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(15_000);
+    let mut rows = Vec::new();
+    for n in [4usize, 8] {
+        let grid = Grid::square(n).expect("grid");
+        let cap = 2 * (n as u32 - 1);
+        let rec = rec_topology(grid).expect("REC");
+        let drl = drl_topology(grid, cap, Effort::from_env(), 3);
+        let mesh_cfg = SimConfig {
+            warmup: 1_000,
+            measure,
+            drain: 4_000,
+            ..SimConfig::mesh()
+        };
+        let rl_cfg = SimConfig {
+            warmup: 1_000,
+            measure,
+            drain: 4_000,
+            ..SimConfig::routerless()
+        };
+        for (i, bench) in Benchmark::ALL.iter().enumerate() {
+            let seed = 60 + i as u64;
+            let lat = |m: rlnoc_sim::Metrics| format!("{:.2}", m.avg_packet_latency());
+            rows.push(vec![
+                format!("{n}x{n}"),
+                s(bench),
+                lat(run_benchmark(&mut MeshSim::mesh2(grid), *bench, &mesh_cfg, seed)),
+                lat(run_benchmark(&mut MeshSim::mesh1(grid), *bench, &mesh_cfg, seed)),
+                lat(run_benchmark(&mut MeshSim::mesh0(grid), *bench, &mesh_cfg, seed)),
+                lat(run_benchmark(&mut RouterlessSim::new(&rec), *bench, &rl_cfg, seed)),
+                lat(run_benchmark(&mut RouterlessSim::new(&drl), *bench, &rl_cfg, seed)),
+            ]);
+        }
+    }
+
+    let headers = ["size", "workload", "Mesh-2", "Mesh-1", "Mesh-0", "REC", "DRL"];
+    print_table("Figure 11: PARSEC average packet latency (cycles)", &headers, &rows);
+    write_csv("fig11_parsec_latency", &headers, &rows);
+    println!(
+        "\nPaper reference (8x8 averages): DRL reduces latency by 60.0% / 46.2% / 27.7% / 13.5%\n\
+         vs Mesh-2 / Mesh-1 / Mesh-0 / REC (e.g. fluidanimate: 21.7/16.4/12.9/11.8/9.7)."
+    );
+}

@@ -1,0 +1,56 @@
+//! Figure 12 — PARSEC average hop count on 4x4 and 8x8 NoCs for Mesh,
+//! REC, and DRL.
+//!
+//! Usage: `fig12_parsec_hops [measure_cycles]` (default 15000).
+
+use rlnoc_bench::{drl_topology, print_table, s, write_csv, Effort};
+use rlnoc_baselines::rec_topology;
+use rlnoc_sim::{MeshSim, RouterlessSim, SimConfig};
+use rlnoc_topology::Grid;
+use rlnoc_workloads::{run_benchmark, Benchmark};
+
+fn main() {
+    let measure: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(15_000);
+    let mut rows = Vec::new();
+    for n in [4usize, 8] {
+        let grid = Grid::square(n).expect("grid");
+        let cap = 2 * (n as u32 - 1);
+        let rec = rec_topology(grid).expect("REC");
+        let drl = drl_topology(grid, cap, Effort::from_env(), 3);
+        let mesh_cfg = SimConfig {
+            warmup: 1_000,
+            measure,
+            drain: 4_000,
+            ..SimConfig::mesh()
+        };
+        let rl_cfg = SimConfig {
+            warmup: 1_000,
+            measure,
+            drain: 4_000,
+            ..SimConfig::routerless()
+        };
+        for (i, bench) in Benchmark::ALL.iter().enumerate() {
+            let seed = 80 + i as u64;
+            let hops = |m: rlnoc_sim::Metrics| format!("{:.2}", m.avg_hops());
+            rows.push(vec![
+                format!("{n}x{n}"),
+                s(bench),
+                hops(run_benchmark(&mut MeshSim::mesh2(grid), *bench, &mesh_cfg, seed)),
+                hops(run_benchmark(&mut RouterlessSim::new(&rec), *bench, &rl_cfg, seed)),
+                hops(run_benchmark(&mut RouterlessSim::new(&drl), *bench, &rl_cfg, seed)),
+            ]);
+        }
+    }
+
+    let headers = ["size", "workload", "Mesh", "REC", "DRL"];
+    print_table("Figure 12: PARSEC average hop count", &headers, &rows);
+    write_csv("fig12_parsec_hops", &headers, &rows);
+    println!(
+        "\nPaper reference: 4x4 — DRL 3.8% below REC, 22.4% above mesh;\n\
+         8x8 — DRL 13.7% below REC, 35.7% above mesh\n\
+         (e.g. streamcluster 4x4: mesh 1.79, REC 2.48, DRL 2.34)."
+    );
+}

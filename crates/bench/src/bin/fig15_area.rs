@@ -1,0 +1,37 @@
+//! Figure 15 — node area after place & route: Mesh vs REC/DRL(14) vs
+//! DRL(10), from the calibrated area model.
+
+use rlnoc_bench::{f3, print_table, s, write_csv};
+use rlnoc_power::{AreaModel, Fabric};
+
+fn main() {
+    let area = AreaModel::default();
+    let mesh = area.node_area_um2(Fabric::Mesh);
+    let r14 = area.node_area_um2(Fabric::Routerless { overlap: 14 });
+    let r10 = area.node_area_um2(Fabric::Routerless { overlap: 10 });
+
+    let rows = vec![
+        vec![s("Mesh (2-cycle router)"), f3(mesh), s("45278"), s("1.00x")],
+        vec![
+            s("REC / DRL (overlap 14)"),
+            f3(r14),
+            s("7981"),
+            format!("{:.2}x", mesh / r14),
+        ],
+        vec![
+            s("DRL (overlap 10)"),
+            f3(r10),
+            s("5860"),
+            format!("{:.2}x", mesh / r10),
+        ],
+    ];
+    let headers = ["node", "area_um2", "paper_um2", "mesh/own"];
+    print_table("Figure 15: per-node area (um^2, 15nm, after P&R)", &headers, &rows);
+    write_csv("fig15_area", &headers, &rows);
+
+    println!(
+        "\nExtras (paper §6.6): source lookup table 443 um^2 (0.9% of a mesh router);\n\
+         DRL(14) repeaters {:.0} um^2/node.",
+        area.repeater_area_um2(14)
+    );
+}

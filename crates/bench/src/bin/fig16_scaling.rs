@@ -1,0 +1,82 @@
+//! Figure 16 — synthetic scaling: uniform-random latency curves for 4x4,
+//! 6x6, 8x8, and 10x10, highlighting the throughput drop from 4x4 to
+//! 10x10 (paper: −31.6% for REC vs only −4.7% for DRL).
+//!
+//! Usage: `fig16_scaling [measure_cycles] [step]` (defaults 3000, 0.02).
+
+use rlnoc_bench::{drl_topology, print_table, s, write_csv, Effort};
+use rlnoc_baselines::rec_topology;
+use rlnoc_sim::sweep::latency_sweep;
+use rlnoc_sim::traffic::Pattern;
+use rlnoc_sim::{MeshSim, RouterlessSim, SimConfig};
+use rlnoc_topology::Grid;
+use std::collections::HashMap;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let measure: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(3_000);
+    let step: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0.02);
+    let mesh_cfg = SimConfig {
+        warmup: 500,
+        measure,
+        drain: 2_000,
+        ..SimConfig::mesh()
+    };
+    let rl_cfg = SimConfig {
+        warmup: 500,
+        measure,
+        drain: 2_000,
+        ..SimConfig::routerless()
+    };
+
+    let mut rows = Vec::new();
+    let mut saturations: HashMap<(&str, usize), f64> = HashMap::new();
+    for n in [4usize, 6, 8, 10] {
+        let grid = Grid::square(n).expect("grid");
+        let cap = 2 * (n as u32 - 1);
+        let rec = rec_topology(grid).expect("REC");
+        let drl = drl_topology(grid, cap, Effort::from_env(), 17);
+        let sweeps: Vec<(&str, rlnoc_sim::sweep::SweepResult)> = vec![
+            (
+                "Mesh-2",
+                latency_sweep(|| MeshSim::mesh2(grid), Pattern::UniformRandom, &mesh_cfg, 0.005, step, 1.0, 4.0, 6),
+            ),
+            (
+                "Mesh-1",
+                latency_sweep(|| MeshSim::mesh1(grid), Pattern::UniformRandom, &mesh_cfg, 0.005, step, 1.0, 4.0, 6),
+            ),
+            (
+                "REC",
+                latency_sweep(|| RouterlessSim::new(&rec), Pattern::UniformRandom, &rl_cfg, 0.005, step, 1.0, 4.0, 6),
+            ),
+            (
+                "DRL",
+                latency_sweep(|| RouterlessSim::new(&drl), Pattern::UniformRandom, &rl_cfg, 0.005, step, 1.0, 4.0, 6),
+            ),
+        ];
+        for (name, sweep) in sweeps {
+            saturations.insert((name, n), sweep.saturation);
+            rows.push(vec![
+                format!("{n}x{n}"),
+                s(name),
+                format!("{:.2}", sweep.zero_load_latency),
+                format!("{:.3}", sweep.saturation),
+            ]);
+        }
+    }
+
+    let headers = ["size", "fabric", "zero_load_latency", "saturation_flits"];
+    print_table("Figure 16: uniform-random scaling", &headers, &rows);
+    write_csv("fig16_scaling", &headers, &rows);
+
+    for fabric in ["REC", "DRL"] {
+        let s4 = saturations[&(fabric, 4)];
+        let s10 = saturations[&(fabric, 10)];
+        if s4 > 0.0 {
+            println!(
+                "{fabric}: throughput change 4x4 → 10x10: {:+.1}% (paper: REC −31.6%, DRL −4.7%)",
+                100.0 * (s10 - s4) / s4
+            );
+        }
+    }
+}

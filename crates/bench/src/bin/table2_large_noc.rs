@@ -1,0 +1,57 @@
+//! Table 2 — DRL supports larger NoCs under a fixed overlap cap of 18.
+//!
+//! REC requires overlap exactly `2(N−1)`, so with 18 wires it stops at
+//! 10x10; the DRL framework keeps producing fully connected designs up to
+//! the theoretical 18x18 limit. Reports average hop count per size.
+//!
+//! Usage: `table2_large_noc [max_n]` (default 18; pass 14 for a quicker
+//! run).
+
+use rlnoc_bench::{drl_topology, f3, print_table, s, write_csv, Effort};
+use rlnoc_baselines::rec_topology;
+use rlnoc_topology::Grid;
+
+fn main() {
+    let max_n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(18);
+    let cap = 18u32;
+    let paper: &[(usize, &str, &str)] = &[
+        (10, "9.64", "7.94"),
+        (12, "N/A", "12.25"),
+        (14, "N/A", "15.11"),
+        (16, "N/A", "18.03"),
+        (18, "N/A", "21.01"),
+    ];
+
+    let mut rows = Vec::new();
+    for &(n, p_rec, p_drl) in paper.iter().filter(|&&(n, _, _)| n <= max_n) {
+        // REC is only constructible when its required overlap fits the cap.
+        let rec = if rlnoc_baselines::rec::required_overlap(n) <= cap {
+            let t = rec_topology(Grid::square(n).expect("grid")).expect("REC");
+            f3(t.average_hops())
+        } else {
+            s("N/A")
+        };
+        let start = std::time::Instant::now();
+        let drl = drl_topology(Grid::square(n).expect("grid"), cap, Effort::from_env(), 7);
+        let connected = drl.is_fully_connected();
+        rows.push(vec![
+            format!("{n}x{n}"),
+            rec,
+            if connected { f3(drl.average_hops()) } else { s("disconnected") },
+            s(p_rec),
+            s(p_drl),
+            format!("{:.1}s", start.elapsed().as_secs_f64()),
+        ]);
+    }
+
+    let headers = ["size", "REC_hops", "DRL_hops", "paper_REC", "paper_DRL", "time"];
+    print_table(
+        &format!("Table 2: fixed overlap cap {cap}, sizes up to {max_n}x{max_n}"),
+        &headers,
+        &rows,
+    );
+    write_csv("table2_large_noc", &headers, &rows);
+}

@@ -1,0 +1,48 @@
+//! Table 3 — DRL exploits additional wiring resources on 8x8.
+//!
+//! REC is pinned at overlap 14 (= 2(N−1)); DRL keeps improving hop count
+//! as the cap grows to 16, 18, 20.
+
+use rlnoc_bench::{drl_topology, f3, print_table, s, write_csv, Effort};
+use rlnoc_baselines::rec_topology;
+use rlnoc_topology::Grid;
+
+fn main() {
+    let grid = Grid::square(8).expect("8x8 grid");
+    let rec = rec_topology(grid).expect("REC 8x8");
+    let rec_hops = rec.average_hops();
+
+    let paper = [(14u32, "6.22"), (16, "5.94"), (18, "5.82"), (20, "5.80")];
+    let mut rows = vec![vec![
+        s("REC"),
+        s(14),
+        f3(rec_hops),
+        s("-"),
+        s("7.33"),
+        s("-"),
+    ]];
+    for &(cap, p_drl) in &paper {
+        let drl = drl_topology(grid, cap, Effort::from_env(), 3);
+        let hops = drl.average_hops();
+        let improve = 100.0 * (rec_hops - hops) / rec_hops;
+        rows.push(vec![
+            s("DRL"),
+            s(cap),
+            f3(hops),
+            format!("{improve:.2}%"),
+            s(p_drl),
+            s("15.1-20.9%"),
+        ]);
+    }
+
+    let headers = [
+        "design",
+        "overlap",
+        "avg_hops",
+        "improve_vs_REC",
+        "paper_hops",
+        "paper_improve",
+    ];
+    print_table("Table 3: 8x8 hop count vs node overlapping", &headers, &rows);
+    write_csv("table3_overlap_8x8", &headers, &rows);
+}

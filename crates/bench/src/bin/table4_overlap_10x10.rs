@@ -1,0 +1,47 @@
+//! Table 4 — DRL exploits additional wiring resources on 10x10.
+//!
+//! REC is pinned at overlap 18; DRL keeps improving through caps 20–24.
+
+use rlnoc_bench::{drl_topology, f3, print_table, s, write_csv, Effort};
+use rlnoc_baselines::rec_topology;
+use rlnoc_topology::Grid;
+
+fn main() {
+    let grid = Grid::square(10).expect("10x10 grid");
+    let rec = rec_topology(grid).expect("REC 10x10");
+    let rec_hops = rec.average_hops();
+
+    let paper = [(18u32, "7.94"), (20, "7.67"), (22, "7.59"), (24, "7.55")];
+    let mut rows = vec![vec![
+        s("REC"),
+        s(18),
+        f3(rec_hops),
+        s("-"),
+        s("9.64"),
+        s("-"),
+    ]];
+    for &(cap, p_drl) in &paper {
+        let drl = drl_topology(grid, cap, Effort::from_env(), 5);
+        let hops = drl.average_hops();
+        let improve = 100.0 * (rec_hops - hops) / rec_hops;
+        rows.push(vec![
+            s("DRL"),
+            s(cap),
+            f3(hops),
+            format!("{improve:.2}%"),
+            s(p_drl),
+            s("17.6-21.7%"),
+        ]);
+    }
+
+    let headers = [
+        "design",
+        "overlap",
+        "avg_hops",
+        "improve_vs_REC",
+        "paper_hops",
+        "paper_improve",
+    ];
+    print_table("Table 4: 10x10 hop count vs node overlapping", &headers, &rows);
+    write_csv("table4_overlap_10x10", &headers, &rows);
+}

@@ -1,0 +1,69 @@
+//! Table 5 — 8x8 PARSEC workload execution time (ms).
+//!
+//! Simulates each benchmark's traffic model on Mesh-2, Mesh-1, REC, and
+//! DRL, then converts the measured packet latencies to execution time via
+//! the per-benchmark latency-sensitivity model (see `rlnoc-workloads`).
+//!
+//! Usage: `table5_exec_time [measure_cycles]` (default 20000).
+
+use rlnoc_bench::{drl_topology, print_table, s, write_csv, Effort};
+use rlnoc_baselines::rec_topology;
+use rlnoc_sim::{MeshSim, RouterlessSim, SimConfig};
+use rlnoc_topology::Grid;
+use rlnoc_workloads::{run_benchmark, Benchmark};
+
+fn main() {
+    let measure: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20_000);
+    let grid = Grid::square(8).expect("8x8 grid");
+    let rec = rec_topology(grid).expect("REC");
+    let drl = drl_topology(grid, 14, Effort::from_env(), 3);
+    let mesh_cfg = SimConfig {
+        warmup: 2_000,
+        measure,
+        drain: 5_000,
+        ..SimConfig::mesh()
+    };
+    let rl_cfg = SimConfig {
+        warmup: 2_000,
+        measure,
+        drain: 5_000,
+        ..SimConfig::routerless()
+    };
+
+    let paper: &[(&str, &str, &str, &str, &str)] = &[
+        ("blackscholes", "4.4", "4.2", "4.0", "4.0"),
+        ("bodytrack", "5.4", "5.3", "5.1", "5.1"),
+        ("canneal", "7.1", "6.4", "6.1", "6.0"),
+        ("facesim", "626.0", "587.0", "515.2", "512.3"),
+        ("fluidanimate", "35.3", "29.2", "25.2", "24.4"),
+        ("streamcluster", "11.0", "11.0", "11.0", "11.0"),
+    ];
+
+    let mut rows = Vec::new();
+    for (i, bench) in Benchmark::TABLE5.iter().enumerate() {
+        let seed = 40 + i as u64;
+        let m2 = run_benchmark(&mut MeshSim::mesh2(grid), *bench, &mesh_cfg, seed);
+        let m1 = run_benchmark(&mut MeshSim::mesh1(grid), *bench, &mesh_cfg, seed);
+        let mr = run_benchmark(&mut RouterlessSim::new(&rec), *bench, &rl_cfg, seed);
+        let md = run_benchmark(&mut RouterlessSim::new(&drl), *bench, &rl_cfg, seed);
+        let model = bench.model();
+        let l_ref = m2.avg_packet_latency();
+        let t = |m: &rlnoc_sim::Metrics| model.execution_time_ms(m.avg_packet_latency(), l_ref);
+        let p = paper[i];
+        rows.push(vec![
+            s(bench),
+            format!("{:.1}", t(&m2)),
+            format!("{:.1}", t(&m1)),
+            format!("{:.1}", t(&mr)),
+            format!("{:.1}", t(&md)),
+            format!("{}/{}/{}/{}", p.1, p.2, p.3, p.4),
+        ]);
+    }
+
+    let headers = ["workload", "Mesh-2", "Mesh-1", "REC", "DRL", "paper(M2/M1/REC/DRL)"];
+    print_table("Table 5: 8x8 PARSEC execution time (ms)", &headers, &rows);
+    write_csv("table5_exec_time", &headers, &rows);
+}

@@ -1,0 +1,92 @@
+//! The environment abstraction the DRL framework explores.
+
+use rlnoc_nn::Tensor;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A design-space environment: a mutable design state that actions modify,
+/// with the reward structure of the paper's §4.3.
+///
+/// Environments are `Clone` because the tree search replays and forks
+/// design trajectories; cloning must produce an independent copy of the
+/// current design state.
+///
+/// The action type is the environment's atomic design modification (for
+/// routerless NoCs: add one rectangular loop). Actions may be *proposed*
+/// that are invalid or illegal — [`Environment::apply`] must accept them,
+/// leave the design unchanged, and return the appropriate penalty, exactly
+/// as the paper's reward taxonomy prescribes (valid 0, repetitive/invalid
+/// −1, constraint-violating −5·N).
+pub trait Environment: Clone + Debug {
+    /// The action representation.
+    type Action: Copy + Eq + Hash + Debug;
+
+    /// Resets to the blank design (e.g. a fully disconnected NoC).
+    fn reset(&mut self);
+
+    /// A hash of the current design state, used as the MCTS node key.
+    /// States that compare equal must hash equal.
+    fn state_key(&self) -> u64;
+
+    /// The DNN input encoding of the current state, shaped
+    /// `[1, 1, side, side]`.
+    fn state_tensor(&self) -> Tensor;
+
+    /// Side length of the square state tensor.
+    fn state_side(&self) -> usize;
+
+    /// Applies `action`, returning its immediate reward. Invalid or illegal
+    /// actions leave the state unchanged and return a negative reward.
+    fn apply(&mut self, action: Self::Action) -> f64;
+
+    /// Whether any action with non-negative reward remains. When no legal
+    /// action exists the episode ends (paper §4.1: loops are added "until
+    /// no more loops can be added without violating constraints").
+    fn is_terminal(&self) -> bool;
+
+    /// The terminal bonus added to the final step's reward — for routerless
+    /// NoCs, mesh average hop count minus achieved average hop count
+    /// (§4.3), so better-than-useless designs earn less-negative returns.
+    fn final_return(&self) -> f64;
+
+    /// Enumerates legal actions from the current state (used by greedy
+    /// search and, in small environments, exhaustive expansion). The list
+    /// may be empty exactly when [`Environment::is_terminal`] is true.
+    fn legal_actions(&self) -> Vec<Self::Action>;
+
+    /// The cardinality of each categorical policy head. Actions are encoded
+    /// for the DNN as four categorical indices in
+    /// `0..head_cardinality()` plus one binary flag (the paper's
+    /// `(x1, y1, x2, y2, dir)`).
+    fn head_cardinality(&self) -> usize;
+
+    /// Encodes an action into its four head indices and binary flag.
+    fn encode_action(&self, action: Self::Action) -> ([usize; 4], bool);
+
+    /// Decodes head indices and the binary flag back into an action.
+    fn decode_action(&self, coords: [usize; 4], flag: bool) -> Self::Action;
+
+    /// Whether the current design meets the environment's success criterion
+    /// (full connectivity for routerless NoCs). Used to count "valid
+    /// designs" as in the paper's Table 1.
+    fn is_successful(&self) -> bool {
+        true
+    }
+
+    /// A domain-specific deterministic fallback action (the ε branch of the
+    /// paper's search). The default takes the first legal action;
+    /// environments with a meaningful heuristic (Algorithm 1 for routerless
+    /// NoCs) override it.
+    fn greedy_action(&self) -> Option<Self::Action> {
+        self.legal_actions().into_iter().next()
+    }
+
+    /// The action used by the Figure 4 completion phase ("additional
+    /// actions … to complete the design"). Defaults to
+    /// [`Environment::greedy_action`]; environments where completion has a
+    /// different objective than exploration (connectivity-first for
+    /// routerless NoCs) override it.
+    fn completion_action(&self) -> Option<Self::Action> {
+        self.greedy_action()
+    }
+}

@@ -1,0 +1,412 @@
+//! The exploration loop of the paper's Figure 4: DNN-guided, MCTS-refined
+//! design cycles with actor-critic learning after each cycle.
+
+use crate::env::Environment;
+use crate::mcts::{Mcts, MctsConfig};
+use crate::policy::{Episode, PolicyAgent, Step, TrainConfig, TrainStats};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rlnoc_nn::PolicyValueConfig;
+
+/// Tunables for the exploration loop.
+#[derive(Debug, Clone)]
+pub struct ExplorerConfig {
+    /// Number of exploration cycles (episodes) to run.
+    pub cycles: usize,
+    /// The ε of the ε-greedy override: with this probability a step is
+    /// taken by the environment's deterministic greedy heuristic
+    /// (Algorithm 1) instead of Equation 21. Table 1 sweeps this knob.
+    pub epsilon: f64,
+    /// Tree-search constants.
+    pub mcts: MctsConfig,
+    /// Actor-critic training constants.
+    pub train: TrainConfig,
+    /// Length of the DNN/MCTS exploration prefix: the paper's cycle takes
+    /// an initial DNN action then "several actions … by following MCTS"
+    /// before handing over to the completion phase, so this should be a
+    /// modest fraction of the design's total loop budget. Also guards
+    /// against degenerate policies that only propose penalized actions.
+    pub max_steps: usize,
+    /// After this many consecutive penalized actions the explorer forces a
+    /// greedy action to restore progress.
+    pub invalid_streak_limit: usize,
+    /// Maximum number of edges added per node expansion (the legal actions
+    /// with the highest priors).
+    pub expansion_candidates: usize,
+    /// After the DNN/MCTS phase, finish incomplete designs with greedy
+    /// actions — the paper's "additional actions can be taken, if
+    /// necessary, to complete the design" (Figure 4). The completion steps
+    /// are recorded and trained on like any others.
+    pub complete_designs: bool,
+    /// Network architecture; `None` selects
+    /// [`PolicyValueConfig::small`] sized for the environment.
+    pub net: Option<PolicyValueConfig>,
+}
+
+impl ExplorerConfig {
+    /// A laptop-friendly configuration: small network, short episodes.
+    pub fn fast() -> Self {
+        ExplorerConfig {
+            cycles: 10,
+            epsilon: 0.1,
+            mcts: MctsConfig::default(),
+            train: TrainConfig::default(),
+            max_steps: 8,
+            invalid_streak_limit: 8,
+            expansion_candidates: 64,
+            complete_designs: true,
+            net: None,
+        }
+    }
+}
+
+impl Default for ExplorerConfig {
+    fn default() -> Self {
+        ExplorerConfig::fast()
+    }
+}
+
+/// The final state of one exploration cycle.
+#[derive(Debug, Clone)]
+pub struct DesignResult<E> {
+    /// The environment at episode end (for routerless NoCs, carries the
+    /// completed [`rlnoc_topology::Topology`]).
+    pub env: E,
+    /// The terminal return (mesh hop count − achieved hop count).
+    pub final_return: f64,
+    /// Index of the cycle that produced this design.
+    pub cycle: usize,
+    /// Number of actions taken.
+    pub steps: usize,
+    /// Whether the design meets the environment's success criterion (full
+    /// connectivity for routerless NoCs).
+    pub successful: bool,
+}
+
+/// Outcome of a whole exploration run.
+#[derive(Debug, Clone)]
+pub struct ExploreReport<E> {
+    /// One result per cycle, in order.
+    pub designs: Vec<DesignResult<E>>,
+    /// Per-cycle training statistics.
+    pub train_history: Vec<TrainStats>,
+    /// Number of cycles completed.
+    pub cycles_run: usize,
+}
+
+impl<E> ExploreReport<E> {
+    /// The best *successful* design by final return, if any.
+    pub fn best(&self) -> Option<&DesignResult<E>> {
+        self.designs
+            .iter()
+            .filter(|d| d.successful)
+            .max_by(|a, b| a.final_return.total_cmp(&b.final_return))
+    }
+
+    /// Number of successful (e.g. fully connected) designs found.
+    pub fn successful_count(&self) -> usize {
+        self.designs.iter().filter(|d| d.successful).count()
+    }
+}
+
+/// Mediates tree access so the same episode runner serves both the local
+/// single-threaded tree and the shared tree of the multi-threaded framework.
+pub trait TreeHandle<A> {
+    /// Whether the state has outgoing edges.
+    fn is_expanded(&mut self, state: u64) -> bool;
+    /// Adds prior-weighted edges to a state.
+    fn expand(&mut self, state: u64, priors: &[(A, f32)]);
+    /// Equation 21 selection.
+    fn select(&mut self, state: u64) -> Option<A>;
+    /// Propagates returns along a trajectory.
+    fn backup(&mut self, path: &[(u64, A)], returns: &[f64]);
+}
+
+impl<A: Copy + Eq + std::hash::Hash + std::fmt::Debug> TreeHandle<A> for Mcts<A> {
+    fn is_expanded(&mut self, state: u64) -> bool {
+        Mcts::is_expanded(self, state)
+    }
+    fn expand(&mut self, state: u64, priors: &[(A, f32)]) {
+        Mcts::expand(self, state, priors);
+    }
+    fn select(&mut self, state: u64) -> Option<A> {
+        Mcts::select(self, state)
+    }
+    fn backup(&mut self, path: &[(u64, A)], returns: &[f64]) {
+        Mcts::backup(self, path, returns);
+    }
+}
+
+/// Runs one exploration cycle (Figure 4's inner loop): DNN initial action,
+/// then MCTS/ε-greedy actions until the design is complete, recording the
+/// trajectory. Returns the episode and the `(state, action)` path for
+/// backup.
+pub fn run_episode<E: Environment>(
+    env: &mut E,
+    agent: &mut PolicyAgent,
+    tree: &mut impl TreeHandle<E::Action>,
+    config: &ExplorerConfig,
+    rng: &mut StdRng,
+) -> (Episode<E::Action>, Vec<(u64, E::Action)>) {
+    env.reset();
+    let mut steps: Vec<Step<E::Action>> = Vec::new();
+    let mut path: Vec<(u64, E::Action)> = Vec::new();
+    let mut invalid_streak = 0usize;
+
+    for t in 0..config.max_steps {
+        if env.is_terminal() {
+            break;
+        }
+        let key = env.state_key();
+        let state = env.state_tensor();
+
+        if !tree.is_expanded(key) {
+            let eval = agent.evaluate(&state);
+            let mut priors: Vec<(E::Action, f32)> = env
+                .legal_actions()
+                .into_iter()
+                .map(|a| {
+                    let (coords, flag) = env.encode_action(a);
+                    (a, eval.action_prior(coords, flag))
+                })
+                .collect();
+            priors.sort_by(|a, b| b.1.total_cmp(&a.1));
+            priors.truncate(config.expansion_candidates);
+            tree.expand(key, &priors);
+        }
+
+        let action = if invalid_streak >= config.invalid_streak_limit {
+            // Restore progress deterministically.
+            match env.greedy_action() {
+                Some(a) => a,
+                None => break,
+            }
+        } else if t == 0 {
+            // The DNN picks the initial action, directing search to a
+            // region of the design space (Figure 4, "DNN" box).
+            agent.sample_action(env, rng)
+        } else if rng.gen_bool(config.epsilon) {
+            match env.greedy_action() {
+                Some(a) => a,
+                None => break,
+            }
+        } else {
+            match tree.select(key) {
+                Some(a) => a,
+                None => agent.sample_action(env, rng),
+            }
+        };
+
+        let reward = env.apply(action);
+        invalid_streak = if reward < 0.0 { invalid_streak + 1 } else { 0 };
+        steps.push(Step {
+            state,
+            action,
+            reward,
+        });
+        path.push((key, action));
+    }
+
+    // Completion phase (Figure 4): "additional actions can be taken, if
+    // necessary, to complete the design". Greedy actions drive the design
+    // to full connectivity (or wiring exhaustion) within a bounded number
+    // of extra steps, all recorded for learning.
+    if config.complete_designs {
+        // Safety bound only: greedy completion ends naturally when the
+        // design succeeds or the wiring budget is exhausted.
+        let completion_cap = 1024;
+        let mut extra = 0;
+        while !env.is_successful() && extra < completion_cap {
+            let Some(action) = env.completion_action() else {
+                break;
+            };
+            let key = env.state_key();
+            let state = env.state_tensor();
+            let reward = env.apply(action);
+            steps.push(Step {
+                state,
+                action,
+                reward,
+            });
+            path.push((key, action));
+            extra += 1;
+        }
+    }
+
+    let episode = Episode {
+        steps,
+        final_return: env.final_return(),
+    };
+    (episode, path)
+}
+
+/// The single-threaded exploration driver: repeats exploration cycles,
+/// updating the tree and training the DNN after each (Figure 4).
+#[derive(Debug)]
+pub struct Explorer<E: Environment> {
+    env: E,
+    agent: PolicyAgent,
+    mcts: Mcts<E::Action>,
+    config: ExplorerConfig,
+    rng: StdRng,
+}
+
+impl<E: Environment> Explorer<E> {
+    /// Creates an explorer over `env` with deterministic seeding.
+    pub fn new(env: E, config: ExplorerConfig, seed: u64) -> Self {
+        let agent = match &config.net {
+            Some(net_cfg) => PolicyAgent::new(net_cfg.clone(), config.train.clone(), seed),
+            None => PolicyAgent::for_env(&env, config.train.clone(), seed),
+        };
+        let mcts = Mcts::new(config.mcts);
+        Explorer {
+            env,
+            agent,
+            mcts,
+            config,
+            rng: StdRng::seed_from_u64(seed.wrapping_add(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    /// The search tree accumulated so far.
+    pub fn tree(&self) -> &Mcts<E::Action> {
+        &self.mcts
+    }
+
+    /// The learning agent.
+    pub fn agent_mut(&mut self) -> &mut PolicyAgent {
+        &mut self.agent
+    }
+
+    /// Runs the configured number of exploration cycles.
+    pub fn run(&mut self) -> ExploreReport<E> {
+        let cycles = self.config.cycles;
+        self.run_cycles(cycles)
+    }
+
+    /// Runs `cycles` exploration cycles (callable repeatedly; the tree and
+    /// network persist across calls).
+    pub fn run_cycles(&mut self, cycles: usize) -> ExploreReport<E> {
+        let mut designs = Vec::with_capacity(cycles);
+        let mut train_history = Vec::with_capacity(cycles);
+        for cycle in 0..cycles {
+            let (episode, path) = run_episode(
+                &mut self.env,
+                &mut self.agent,
+                &mut self.mcts,
+                &self.config,
+                &mut self.rng,
+            );
+            let returns = episode.returns(self.config.train.gamma);
+            self.mcts.backup(&path, &returns);
+            let stats = self.agent.train_episode(&self.env, &episode);
+            train_history.push(stats);
+            designs.push(DesignResult {
+                successful: self.env.is_successful(),
+                env: self.env.clone(),
+                final_return: episode.final_return,
+                cycle,
+                steps: episode.steps.len(),
+            });
+        }
+        ExploreReport {
+            designs,
+            train_history,
+            cycles_run: cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routerless::RouterlessEnv;
+    use rlnoc_topology::Grid;
+
+    fn quick_config(cycles: usize) -> ExplorerConfig {
+        let mut c = ExplorerConfig::fast();
+        c.cycles = cycles;
+        c.max_steps = 40;
+        c
+    }
+
+    #[test]
+    fn explorer_completes_cycles() {
+        let env = RouterlessEnv::new(Grid::square(3).unwrap(), 4);
+        let mut ex = Explorer::new(env, quick_config(3), 1);
+        let report = ex.run();
+        assert_eq!(report.cycles_run, 3);
+        assert_eq!(report.designs.len(), 3);
+        assert_eq!(report.train_history.len(), 3);
+        assert!(!ex.tree().is_empty(), "tree should record explored states");
+    }
+
+    #[test]
+    fn explorer_finds_connected_designs_on_small_grid() {
+        let env = RouterlessEnv::new(Grid::square(3).unwrap(), 6);
+        let mut ex = Explorer::new(env, quick_config(5), 7);
+        let report = ex.run();
+        assert!(
+            report.successful_count() > 0,
+            "3x3 at cap 6 should connect within 5 cycles (greedy fallback guarantees progress)"
+        );
+        let best = report.best().expect("at least one successful design");
+        assert!(best.env.is_fully_connected());
+    }
+
+    #[test]
+    fn explorer_is_deterministic_per_seed() {
+        let env = RouterlessEnv::new(Grid::square(3).unwrap(), 4);
+        let a = Explorer::new(env.clone(), quick_config(2), 11).run();
+        let b = Explorer::new(env, quick_config(2), 11).run();
+        let ra: Vec<f64> = a.designs.iter().map(|d| d.final_return).collect();
+        let rb: Vec<f64> = b.designs.iter().map(|d| d.final_return).collect();
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn episodes_respect_max_steps() {
+        let env = RouterlessEnv::new(Grid::square(4).unwrap(), 8);
+        let mut cfg = quick_config(1);
+        cfg.max_steps = 5;
+        cfg.complete_designs = false;
+        let mut ex = Explorer::new(env, cfg, 3);
+        let report = ex.run();
+        assert!(report.designs[0].steps <= 5);
+    }
+
+    #[test]
+    fn completion_phase_drives_validity() {
+        // With the Figure 4 completion phase, even a tiny exploration
+        // budget yields fully connected designs (the greedy tail finishes
+        // what the DNN/MCTS started); without it, a 2-step budget cannot.
+        let env = RouterlessEnv::new(Grid::square(4).unwrap(), 10);
+        let mut with = quick_config(2);
+        with.max_steps = 6;
+        with.complete_designs = true;
+        let report = Explorer::new(env.clone(), with, 9).run();
+        assert!(
+            report.successful_count() > 0,
+            "completion should finish designs"
+        );
+
+        let mut without = quick_config(1);
+        without.max_steps = 2;
+        without.complete_designs = false;
+        let report = Explorer::new(env, without, 9).run();
+        assert_eq!(report.successful_count(), 0);
+    }
+
+    #[test]
+    fn epsilon_one_is_pure_greedy() {
+        // With ε = 1 every non-initial action is Algorithm 1, which always
+        // proposes legal loops, so only the first (DNN-sampled) action can
+        // be penalized.
+        let env = RouterlessEnv::new(Grid::square(3).unwrap(), 4);
+        let mut cfg = quick_config(1);
+        cfg.epsilon = 1.0;
+        let mut ex = Explorer::new(env, cfg, 5);
+        let report = ex.run();
+        assert!(report.designs[0].steps > 0);
+    }
+}

@@ -1,0 +1,228 @@
+//! The paper's Algorithm 1: deterministic greedy loop selection.
+//!
+//! With probability ε the MCTS ignores the learned policy and instead runs
+//! this exhaustive sweep, which scores every in-cap rectangle by
+//! `CheckCount` (how many node pairs can communicate after adding it) and
+//! tie-breaks by `Imprv` (total hop-count improvement, which also selects
+//! the loop direction).
+
+use crate::routerless::{LoopAction, RouterlessEnv};
+use rlnoc_topology::{Direction, RectLoop};
+
+/// Result of scoring one rectangle with both directions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Scored {
+    action: LoopAction,
+    count: usize,
+    imprv: u64,
+}
+
+/// Runs Algorithm 1 on the environment's current state: returns the legal
+/// loop addition with the highest `CheckCount`, tie-broken by the largest
+/// hop-count improvement (`Imprv`), which also chooses the direction.
+///
+/// Returns `None` when no legal action exists (terminal state).
+pub fn greedy_action(env: &RouterlessEnv) -> Option<LoopAction> {
+    let grid = *env.grid();
+    let topo = env.topology();
+    let hops = topo.hop_matrix();
+    let mut best: Option<Scored> = None;
+    for x1 in 0..grid.width() {
+        for x2 in x1 + 1..grid.width() {
+            for y1 in 0..grid.height() {
+                for y2 in y1 + 1..grid.height() {
+                    let cw = RectLoop::new(x1, y1, x2, y2, Direction::Clockwise)
+                        .expect("non-degenerate by construction");
+                    if !env.satisfies_constraints(&cw) {
+                        continue;
+                    }
+                    let cw_ok = !topo.contains_loop(&cw);
+                    let ccw = cw.reversed();
+                    let ccw_ok = !topo.contains_loop(&ccw);
+                    if !cw_ok && !ccw_ok {
+                        continue;
+                    }
+                    // CheckCount: direction-independent (connectivity of
+                    // on-loop pairs holds either way round).
+                    let count = hops.connected_pairs_if_added(&grid, &cw);
+                    // Imprv: evaluate each legal direction's total
+                    // hop-count gain; keep the better.
+                    let mut cand: Option<(u64, RectLoop)> = None;
+                    if cw_ok {
+                        cand = Some((hops.improvement_if_added(&grid, &cw), cw));
+                    }
+                    if ccw_ok {
+                        let g = hops.improvement_if_added(&grid, &ccw);
+                        if cand.as_ref().is_none_or(|&(bg, _)| g > bg) {
+                            cand = Some((g, ccw));
+                        }
+                    }
+                    let (imprv, ring) = cand.expect("at least one direction is legal");
+                    let scored = Scored {
+                        action: ring.into(),
+                        count,
+                        imprv,
+                    };
+                    let better = match &best {
+                        None => true,
+                        Some(b) => {
+                            scored.count > b.count
+                                || (scored.count == b.count && scored.imprv > b.imprv)
+                        }
+                    };
+                    if better {
+                        best = Some(scored);
+                    }
+                }
+            }
+        }
+    }
+    best.map(|s| s.action)
+}
+
+/// Connectivity-first action selection for the completion phase: maximize
+/// newly connected pairs discounted by overlap *pressure* (budget consumed
+/// on nearly saturated nodes), tie-broken by `Imprv`.
+///
+/// Compared with [`greedy_action`] — which ranks by total `CheckCount` and
+/// will happily spend scarce wiring on hop improvements — this selector
+/// protects the remaining budget until the design is fully connected,
+/// which is what the Figure 4 completion phase needs after an exploratory
+/// prefix has consumed part of the budget. Falls back to [`greedy_action`]
+/// once (or if) no new pair can be connected.
+pub fn completion_action(env: &RouterlessEnv) -> Option<LoopAction> {
+    let grid = *env.grid();
+    let topo = env.topology();
+    let cap = f64::from(env.overlap_cap().max(1));
+    let hops = topo.hop_matrix();
+    let mut best: Option<(f64, u64, RectLoop)> = None;
+    for x1 in 0..grid.width() {
+        for x2 in x1 + 1..grid.width() {
+            for y1 in 0..grid.height() {
+                for y2 in y1 + 1..grid.height() {
+                    let cw = RectLoop::new(x1, y1, x2, y2, Direction::Clockwise)
+                        .expect("non-degenerate by construction");
+                    if !env.satisfies_constraints(&cw) {
+                        continue;
+                    }
+                    let new_pairs = hops.newly_connected_pairs(&grid, &cw);
+                    if new_pairs == 0 {
+                        continue;
+                    }
+                    let nodes = cw.perimeter_nodes(&grid);
+                    let pressure: f64 = nodes
+                        .iter()
+                        .map(|&n| {
+                            let o = f64::from(topo.node_overlap(n)) / cap;
+                            o * o
+                        })
+                        .sum::<f64>()
+                        / nodes.len() as f64;
+                    let score = new_pairs as f64 / (1.0 + pressure);
+                    let ccw = cw.reversed();
+                    let (g, ring) = {
+                        let g_cw = hops.improvement_if_added(&grid, &cw);
+                        let g_ccw = hops.improvement_if_added(&grid, &ccw);
+                        if g_cw >= g_ccw {
+                            (g_cw, cw)
+                        } else {
+                            (g_ccw, ccw)
+                        }
+                    };
+                    let ring = if topo.contains_loop(&ring) {
+                        ring.reversed()
+                    } else {
+                        ring
+                    };
+                    if topo.contains_loop(&ring) {
+                        continue;
+                    }
+                    let better = best
+                        .as_ref()
+                        .is_none_or(|&(bs, bg, _)| score > bs || (score == bs && g > bg));
+                    if better {
+                        best = Some((score, g, ring));
+                    }
+                }
+            }
+        }
+    }
+    match best {
+        Some((_, _, ring)) => Some(ring.into()),
+        None => greedy_action(env),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Environment;
+    use rlnoc_topology::Grid;
+
+    #[test]
+    fn greedy_first_pick_maximizes_connectivity() {
+        // On a blank 4x4, the outer ring connects the most pairs (12
+        // perimeter nodes → 132 ordered pairs); greedy must pick it.
+        let env = RouterlessEnv::new(Grid::square(4).unwrap(), 6);
+        let a = greedy_action(&env).unwrap();
+        assert_eq!((a.x1, a.y1, a.x2, a.y2), (0, 0, 3, 3));
+    }
+
+    #[test]
+    fn greedy_actions_are_always_legal() {
+        let mut env = RouterlessEnv::new(Grid::square(4).unwrap(), 4);
+        for _ in 0..50 {
+            match greedy_action(&env) {
+                Some(a) => assert_eq!(env.apply(a), 0.0, "greedy proposed illegal {a:?}"),
+                None => break,
+            }
+        }
+        assert!(env.is_terminal() || env.topology().loops().len() == 50);
+    }
+
+    #[test]
+    fn greedy_reaches_full_connectivity() {
+        let mut env = RouterlessEnv::new(Grid::square(4).unwrap(), 6);
+        while let Some(a) = greedy_action(&env) {
+            env.apply(a);
+            if env.is_fully_connected() {
+                break;
+            }
+        }
+        assert!(env.is_fully_connected(), "greedy should connect a 4x4 at cap 6");
+    }
+
+    #[test]
+    fn greedy_none_when_terminal() {
+        let mut env = RouterlessEnv::new(Grid::square(2).unwrap(), 1);
+        env.apply(crate::routerless::LoopAction::new(
+            0,
+            0,
+            1,
+            1,
+            Direction::Clockwise,
+        ));
+        assert!(greedy_action(&env).is_none());
+    }
+
+    #[test]
+    fn greedy_prefers_direction_with_more_improvement() {
+        // Add a CW outer ring; the best second action includes direction
+        // choice. Reverse of an existing ring halves round-trip distances,
+        // so the CCW outer ring has the largest Imprv among same-count
+        // candidates.
+        let mut env = RouterlessEnv::new(Grid::square(4).unwrap(), 6);
+        env.apply(crate::routerless::LoopAction::new(
+            0,
+            0,
+            3,
+            3,
+            Direction::Clockwise,
+        ));
+        let a = greedy_action(&env).unwrap();
+        // Whatever rectangle wins must be strictly legal and improve hops.
+        let before = env.average_hops();
+        env.apply(a);
+        assert!(env.average_hops() < before);
+    }
+}

@@ -1,0 +1,269 @@
+//! Monte-Carlo tree search over explored designs (paper §4.5, Figure 7).
+//!
+//! Each node is a previously seen design state (keyed by
+//! [`crate::Environment::state_key`]); each edge is a loop addition. Edges
+//! carry the statistics of the paper: the prior `P(a; s)` copied from the
+//! policy network at expansion, the visit count `N(a; s)`, and the mean
+//! cumulative return `V(s_next)`. Selection follows Equation 21:
+//!
+//! ```text
+//! a* = argmax_a ( U(s, a) + V(s_next) ),
+//! U(s, a) = c · P(a; s) · sqrt(Σ_j N(a_j; s)) / (1 + N(a; s))
+//! ```
+
+use std::collections::HashMap;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// Tunables for the tree search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MctsConfig {
+    /// The exploration constant `c` of Equation 22.
+    pub c_puct: f64,
+}
+
+impl Default for MctsConfig {
+    fn default() -> Self {
+        MctsConfig { c_puct: 1.5 }
+    }
+}
+
+/// Per-edge statistics: prior, visit count, and cumulative returns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeStats {
+    /// Prior probability `P(a; s)` from the policy head at expansion time.
+    pub prior: f32,
+    /// Visit count `N(a; s)`.
+    pub visits: u32,
+    /// Sum of backed-up returns through this edge.
+    pub value_sum: f64,
+}
+
+impl EdgeStats {
+    /// Mean backed-up return, `V(s_next)`; zero when unvisited.
+    pub fn mean_value(&self) -> f64 {
+        if self.visits == 0 {
+            0.0
+        } else {
+            self.value_sum / f64::from(self.visits)
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Node<A> {
+    visits: u32,
+    edges: HashMap<A, EdgeStats>,
+}
+
+impl<A> Default for Node<A> {
+    fn default() -> Self {
+        Node {
+            visits: 0,
+            edges: HashMap::new(),
+        }
+    }
+}
+
+/// The search tree: explored design states and their expansion statistics.
+///
+/// # Example
+///
+/// ```
+/// use rlnoc_core::{Mcts, MctsConfig};
+/// let mut tree: Mcts<u8> = Mcts::new(MctsConfig::default());
+/// tree.expand(1, &[(10, 0.7), (20, 0.3)]);
+/// // With no visits, selection follows the prior.
+/// assert_eq!(tree.select(1), Some(10));
+/// tree.backup(&[(1, 10)], &[5.0]);
+/// assert_eq!(tree.edge(1, &10).unwrap().visits, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mcts<A> {
+    nodes: HashMap<u64, Node<A>>,
+    config: MctsConfig,
+}
+
+impl<A: Copy + Eq + Hash + Debug> Mcts<A> {
+    /// Creates an empty tree.
+    pub fn new(config: MctsConfig) -> Self {
+        Mcts {
+            nodes: HashMap::new(),
+            config,
+        }
+    }
+
+    /// Number of stored nodes (explored designs).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether `state` has been expanded (has outgoing edges).
+    pub fn is_expanded(&self, state: u64) -> bool {
+        self.nodes.get(&state).is_some_and(|n| !n.edges.is_empty())
+    }
+
+    /// Expands `state` with prior-weighted candidate actions (Figure 7b).
+    /// Re-expanding an existing node merges new actions and leaves existing
+    /// edge statistics untouched.
+    pub fn expand(&mut self, state: u64, priors: &[(A, f32)]) {
+        let node = self.nodes.entry(state).or_default();
+        for &(a, p) in priors {
+            node.edges.entry(a).or_insert(EdgeStats {
+                prior: p,
+                visits: 0,
+                value_sum: 0.0,
+            });
+        }
+    }
+
+    /// Selects the optimal action at `state` per Equation 21, or `None` if
+    /// the state is unknown or unexpanded. Deterministic: ties break toward
+    /// the first-inserted action (iteration order is made stable by
+    /// sorting on the score, then the debug representation).
+    pub fn select(&self, state: u64) -> Option<A> {
+        let node = self.nodes.get(&state)?;
+        if node.edges.is_empty() {
+            return None;
+        }
+        let total_visits: u32 = node.edges.values().map(|e| e.visits).sum();
+        // Floor at 1 so the prior term is live even before the first
+        // backup (otherwise all U scores start at zero).
+        let sqrt_total = f64::from(total_visits).sqrt().max(1.0);
+        let mut best: Option<(f64, String, A)> = None;
+        for (&a, e) in &node.edges {
+            let u = self.config.c_puct * f64::from(e.prior) * sqrt_total
+                / (1.0 + f64::from(e.visits));
+            let score = u + e.mean_value();
+            let key = format!("{a:?}");
+            let better = match &best {
+                None => true,
+                Some((bs, bk, _)) => score > *bs || (score == *bs && key < *bk),
+            };
+            if better {
+                best = Some((score, key, a));
+            }
+        }
+        best.map(|(_, _, a)| a)
+    }
+
+    /// Backs up one trajectory (Figure 7c): `path[i]` is the `(state,
+    /// action)` pair at depth `i` and `returns[i]` the discounted return
+    /// `G_i` observed from that point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` and `returns` lengths differ.
+    pub fn backup(&mut self, path: &[(u64, A)], returns: &[f64]) {
+        assert_eq!(path.len(), returns.len(), "path/returns length mismatch");
+        for (&(state, action), &g) in path.iter().zip(returns) {
+            let node = self.nodes.entry(state).or_default();
+            node.visits += 1;
+            let edge = node.edges.entry(action).or_insert(EdgeStats {
+                prior: 0.0,
+                visits: 0,
+                value_sum: 0.0,
+            });
+            edge.visits += 1;
+            edge.value_sum += g;
+        }
+    }
+
+    /// Statistics of one edge, if present.
+    pub fn edge(&self, state: u64, action: &A) -> Option<EdgeStats> {
+        self.nodes.get(&state)?.edges.get(action).copied()
+    }
+
+    /// Visit count of a node (0 if unknown).
+    pub fn node_visits(&self, state: u64) -> u32 {
+        self.nodes.get(&state).map_or(0, |n| n.visits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree() -> Mcts<u8> {
+        Mcts::new(MctsConfig { c_puct: 1.0 })
+    }
+
+    #[test]
+    fn unexpanded_state_selects_none() {
+        let t = tree();
+        assert_eq!(t.select(7), None);
+        assert!(!t.is_expanded(7));
+    }
+
+    #[test]
+    fn selection_follows_prior_before_visits() {
+        let mut t = tree();
+        t.expand(1, &[(0, 0.2), (1, 0.5), (2, 0.3)]);
+        assert_eq!(t.select(1), Some(1));
+    }
+
+    #[test]
+    fn selection_shifts_to_high_value_edges() {
+        let mut t = tree();
+        t.expand(1, &[(0, 0.9), (1, 0.1)]);
+        // Action 1 keeps returning strong rewards.
+        for _ in 0..50 {
+            t.backup(&[(1, 1)], &[10.0]);
+        }
+        assert_eq!(
+            t.select(1),
+            Some(1),
+            "mean value should dominate a stale prior"
+        );
+    }
+
+    #[test]
+    fn visit_counts_decay_exploration_bonus() {
+        let mut t = tree();
+        t.expand(1, &[(0, 0.5), (1, 0.5)]);
+        // Equal priors, equal (zero) values: after many visits to action 0,
+        // the U term should push selection to action 1.
+        for _ in 0..20 {
+            t.backup(&[(1, 0)], &[0.0]);
+        }
+        assert_eq!(t.select(1), Some(1));
+    }
+
+    #[test]
+    fn backup_accumulates_statistics() {
+        let mut t = tree();
+        t.expand(1, &[(0, 1.0)]);
+        t.backup(&[(1, 0)], &[2.0]);
+        t.backup(&[(1, 0)], &[4.0]);
+        let e = t.edge(1, &0).unwrap();
+        assert_eq!(e.visits, 2);
+        assert_eq!(e.value_sum, 6.0);
+        assert_eq!(e.mean_value(), 3.0);
+        assert_eq!(t.node_visits(1), 2);
+    }
+
+    #[test]
+    fn backup_through_unexpanded_states_creates_nodes() {
+        let mut t = tree();
+        t.backup(&[(5, 9), (6, 9)], &[1.0, 0.5]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.edge(6, &9).unwrap().visits, 1);
+    }
+
+    #[test]
+    fn re_expansion_preserves_statistics() {
+        let mut t = tree();
+        t.expand(1, &[(0, 0.4)]);
+        t.backup(&[(1, 0)], &[7.0]);
+        t.expand(1, &[(0, 0.9), (1, 0.6)]);
+        let e = t.edge(1, &0).unwrap();
+        assert_eq!(e.prior, 0.4, "existing edge untouched");
+        assert_eq!(e.visits, 1);
+        assert_eq!(t.edge(1, &1).unwrap().prior, 0.6);
+    }
+}

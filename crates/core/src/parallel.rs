@@ -1,0 +1,222 @@
+//! Multi-threaded exploration (paper §4.6, Figure 8): a parent parameter
+//! server plus child threads that explore independently, sharing one search
+//! tree and exchanging parameters/gradients.
+//!
+//! Children copy the parent's network parameters before each cycle, run an
+//! exploration cycle against the shared tree, then push their accumulated
+//! actor-critic gradients back; the parent averages incoming gradients into
+//! one optimizer step each. Convergence is stabilized by the global-norm
+//! clipping inside [`PolicyAgent::step_optimizer`], matching the paper's
+//! note that averaging "both large gradients and small gradients" steadies
+//! training.
+
+use crate::env::Environment;
+use crate::explorer::{DesignResult, ExploreReport, ExplorerConfig, TreeHandle};
+use crate::mcts::Mcts;
+use crate::policy::PolicyAgent;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// A [`TreeHandle`] that serializes access to a tree shared across child
+/// threads (the parent's "query queue" in Figure 8).
+#[derive(Debug)]
+pub struct SharedTree<A>(Arc<Mutex<Mcts<A>>>);
+
+impl<A> Clone for SharedTree<A> {
+    fn clone(&self) -> Self {
+        SharedTree(Arc::clone(&self.0))
+    }
+}
+
+impl<A: Copy + Eq + std::hash::Hash + std::fmt::Debug> SharedTree<A> {
+    /// Wraps a tree for shared access.
+    pub fn new(tree: Mcts<A>) -> Self {
+        SharedTree(Arc::new(Mutex::new(tree)))
+    }
+
+    /// Extracts the tree once all handles are done.
+    ///
+    /// # Panics
+    ///
+    /// Panics if other handles still exist.
+    pub fn into_inner(self) -> Mcts<A> {
+        Arc::try_unwrap(self.0)
+            .expect("all shared-tree handles must be dropped first")
+            .into_inner()
+    }
+}
+
+impl<A: Copy + Eq + std::hash::Hash + std::fmt::Debug> TreeHandle<A> for SharedTree<A> {
+    fn is_expanded(&mut self, state: u64) -> bool {
+        self.0.lock().is_expanded(state)
+    }
+    fn expand(&mut self, state: u64, priors: &[(A, f32)]) {
+        self.0.lock().expand(state, priors);
+    }
+    fn select(&mut self, state: u64) -> Option<A> {
+        self.0.lock().select(state)
+    }
+    fn backup(&mut self, path: &[(u64, A)], returns: &[f64]) {
+        self.0.lock().backup(path, returns);
+    }
+}
+
+/// Runs `total_cycles` exploration cycles split across `threads` child
+/// agents with a shared tree and parent parameter server, returning the
+/// merged report (designs tagged with global cycle indices, in completion
+/// order).
+///
+/// With `threads == 1` this is behaviourally equivalent to
+/// [`crate::Explorer`] modulo scheduling.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub fn explore_parallel<E>(
+    env: &E,
+    config: &ExplorerConfig,
+    threads: usize,
+    total_cycles: usize,
+    seed: u64,
+) -> ExploreReport<E>
+where
+    E: Environment + Send + Sync,
+    E::Action: Send + Sync,
+{
+    assert!(threads > 0, "need at least one thread");
+    // Parent: the canonical network and optimizer (thread 0 of Figure 8).
+    let parent = Arc::new(Mutex::new(match &config.net {
+        Some(net_cfg) => PolicyAgent::new(net_cfg.clone(), config.train.clone(), seed),
+        None => PolicyAgent::for_env(env, config.train.clone(), seed),
+    }));
+    let tree = SharedTree::new(Mcts::new(config.mcts));
+    let results: Arc<Mutex<Vec<DesignResult<E>>>> = Arc::new(Mutex::new(Vec::new()));
+    let stats_log = Arc::new(Mutex::new(Vec::new()));
+    let cycle_counter = Arc::new(Mutex::new(0usize));
+
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let parent = Arc::clone(&parent);
+            let mut tree = tree.clone();
+            let results = Arc::clone(&results);
+            let stats_log = Arc::clone(&stats_log);
+            let cycle_counter = Arc::clone(&cycle_counter);
+            let mut env = env.clone();
+            let config = config.clone();
+            scope.spawn(move || {
+                // Child DNN replica with its own buffers.
+                let mut local = match &config.net {
+                    Some(net_cfg) => {
+                        PolicyAgent::new(net_cfg.clone(), config.train.clone(), seed)
+                    }
+                    None => PolicyAgent::for_env(&env, config.train.clone(), seed),
+                };
+                let mut rng = StdRng::seed_from_u64(
+                    seed.wrapping_add(1 + t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                loop {
+                    // Claim a cycle index, or finish.
+                    let cycle = {
+                        let mut c = cycle_counter.lock();
+                        if *c >= total_cycles {
+                            break;
+                        }
+                        let mine = *c;
+                        *c += 1;
+                        mine
+                    };
+                    // θ: parent → child.
+                    let snapshot = parent.lock().net_mut().param_snapshot();
+                    local.net_mut().load_params(&snapshot);
+                    local.net_mut().zero_grad();
+
+                    let (episode, path) =
+                        crate::explorer::run_episode(&mut env, &mut local, &mut tree, &config, &mut rng);
+                    let returns = episode.returns(config.train.gamma);
+                    tree.backup(&path, &returns);
+
+                    // dθ: child → parent.
+                    let mut stats = local.accumulate_episode(&env, &episode);
+                    let grads = local.net_mut().grad_snapshot();
+                    {
+                        let mut p = parent.lock();
+                        p.net_mut().accumulate_grads(&grads);
+                        stats.grad_norm = p.step_optimizer();
+                    }
+                    stats_log.lock().push(stats);
+                    results.lock().push(DesignResult {
+                        successful: env.is_successful(),
+                        env: env.clone(),
+                        final_return: episode.final_return,
+                        cycle,
+                        steps: episode.steps.len(),
+                    });
+                }
+            });
+        }
+    });
+
+    let mut designs = Arc::try_unwrap(results)
+        .expect("worker threads joined")
+        .into_inner();
+    designs.sort_by_key(|d| d.cycle);
+    let train_history = Arc::try_unwrap(stats_log)
+        .expect("worker threads joined")
+        .into_inner();
+    ExploreReport {
+        cycles_run: designs.len(),
+        designs,
+        train_history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routerless::RouterlessEnv;
+    use rlnoc_topology::Grid;
+
+    fn quick_config() -> ExplorerConfig {
+        let mut c = ExplorerConfig::fast();
+        c.max_steps = 30;
+        c
+    }
+
+    #[test]
+    fn parallel_runs_requested_cycles() {
+        let env = RouterlessEnv::new(Grid::square(3).unwrap(), 4);
+        let report = explore_parallel(&env, &quick_config(), 3, 6, 9);
+        assert_eq!(report.cycles_run, 6);
+        assert_eq!(report.designs.len(), 6);
+        // Cycles are globally unique and complete.
+        let mut cycles: Vec<_> = report.designs.iter().map(|d| d.cycle).collect();
+        cycles.sort_unstable();
+        assert_eq!(cycles, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn parallel_single_thread_works() {
+        let env = RouterlessEnv::new(Grid::square(3).unwrap(), 4);
+        let report = explore_parallel(&env, &quick_config(), 1, 2, 1);
+        assert_eq!(report.cycles_run, 2);
+    }
+
+    #[test]
+    fn parallel_finds_valid_designs() {
+        let env = RouterlessEnv::new(Grid::square(3).unwrap(), 6);
+        let report = explore_parallel(&env, &quick_config(), 2, 6, 5);
+        assert!(
+            report.successful_count() > 0,
+            "parallel search should find connected 3x3 designs"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let env = RouterlessEnv::new(Grid::square(3).unwrap(), 4);
+        let _ = explore_parallel(&env, &quick_config(), 0, 1, 0);
+    }
+}

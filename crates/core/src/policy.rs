@@ -1,0 +1,406 @@
+//! The learning agent: a [`PolicyValueNet`] plus the advantage actor-critic
+//! update of the paper's Equations 15–20.
+
+use crate::env::Environment;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rlnoc_nn::loss;
+use rlnoc_nn::net::PolicyValueGrad;
+use rlnoc_nn::optim::{clip_global_norm, Adam};
+use rlnoc_nn::{PolicyValueConfig, PolicyValueNet, Tensor};
+
+/// Hyperparameters for actor-critic training.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainConfig {
+    /// Discount factor γ (≤ 1) of Equation 2.
+    pub gamma: f64,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Weight of the value-head loss relative to the policy loss (the `c`
+    /// constant of Equation 20).
+    pub value_coeff: f32,
+    /// Global gradient-norm clip applied before each optimizer step.
+    pub clip_norm: f32,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            gamma: 0.95,
+            learning_rate: 1e-3,
+            value_coeff: 0.5,
+            clip_norm: 5.0,
+        }
+    }
+}
+
+/// One environment transition recorded during an exploration cycle.
+#[derive(Debug, Clone)]
+pub struct Step<A> {
+    /// State tensor *before* the action.
+    pub state: Tensor,
+    /// The action taken.
+    pub action: A,
+    /// Immediate reward received.
+    pub reward: f64,
+}
+
+/// A full exploration cycle's trajectory.
+#[derive(Debug, Clone)]
+pub struct Episode<A> {
+    /// The recorded transitions, in order.
+    pub steps: Vec<Step<A>>,
+    /// The terminal bonus (mesh hop count − achieved hop count for
+    /// routerless NoCs), added to the last step's reward when computing
+    /// returns.
+    pub final_return: f64,
+}
+
+impl<A> Episode<A> {
+    /// Discounted returns `G_t = Σ_{t′ ≥ t} γ^{t′−t} r_{t′}`, with
+    /// [`Episode::final_return`] folded into the last reward (Equation 16's
+    /// future-trajectory term).
+    pub fn returns(&self, gamma: f64) -> Vec<f64> {
+        let mut out = vec![0.0; self.steps.len()];
+        let mut run = 0.0;
+        for (i, step) in self.steps.iter().enumerate().rev() {
+            let r = if i + 1 == self.steps.len() {
+                step.reward + self.final_return
+            } else {
+                step.reward
+            };
+            run = r + gamma * run;
+            out[i] = run;
+        }
+        out
+    }
+}
+
+/// Summary statistics from one training update.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainStats {
+    /// Mean policy loss across steps.
+    pub policy_loss: f32,
+    /// Mean value loss across steps.
+    pub value_loss: f32,
+    /// Pre-clip global gradient norm.
+    pub grad_norm: f32,
+    /// Number of steps trained on.
+    pub steps: usize,
+}
+
+/// The DNN-backed agent: action sampling, prior/value evaluation for MCTS,
+/// and actor-critic training.
+#[derive(Debug)]
+pub struct PolicyAgent {
+    net: PolicyValueNet,
+    optim: Adam,
+    config: TrainConfig,
+}
+
+/// A policy evaluation at one state: per-head probability tables, the
+/// clockwise probability, and the value estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// `probs[h]` is the softmax distribution of head `h` (h = x1, y1, x2,
+    /// y2), each of length `N`.
+    pub probs: [Vec<f32>; 4],
+    /// Probability that the direction flag is set (clockwise).
+    pub p_clockwise: f32,
+    /// Value-head estimate of the discounted return from this state.
+    pub value: f64,
+}
+
+impl Evaluation {
+    /// The prior probability π(a; s) of a specific action: the product of
+    /// its four head probabilities and the direction probability.
+    pub fn action_prior(&self, coords: [usize; 4], flag: bool) -> f32 {
+        let mut p = if flag {
+            self.p_clockwise
+        } else {
+            1.0 - self.p_clockwise
+        };
+        for (h, &c) in coords.iter().enumerate() {
+            p *= self.probs[h].get(c).copied().unwrap_or(0.0);
+        }
+        p
+    }
+}
+
+impl PolicyAgent {
+    /// Creates an agent whose network has head cardinality `n` and a state
+    /// input of `side × side`.
+    pub fn new(net_config: PolicyValueConfig, train_config: TrainConfig, seed: u64) -> Self {
+        let lr = train_config.learning_rate;
+        PolicyAgent {
+            net: PolicyValueNet::new(net_config, seed),
+            optim: Adam::new(lr),
+            config: train_config,
+        }
+    }
+
+    /// Convenience constructor sized for `env`.
+    pub fn for_env<E: Environment>(env: &E, train_config: TrainConfig, seed: u64) -> Self {
+        let mut cfg = PolicyValueConfig::small(env.head_cardinality());
+        cfg.input_side = env.state_side();
+        PolicyAgent::new(cfg, train_config, seed)
+    }
+
+    /// The training configuration.
+    pub fn train_config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Immutable access to the underlying network.
+    pub fn net(&self) -> &PolicyValueNet {
+        &self.net
+    }
+
+    /// Mutable access to the underlying network (parameter exchange in the
+    /// multi-threaded framework).
+    pub fn net_mut(&mut self) -> &mut PolicyValueNet {
+        &mut self.net
+    }
+
+    /// Evaluates the policy and value heads at `state` (inference mode).
+    pub fn evaluate(&mut self, state: &Tensor) -> Evaluation {
+        let out = self.net.forward(state, false);
+        let n = self.net.config().n;
+        let logits = out.coord_logits.as_slice();
+        let probs = [
+            loss::softmax(&logits[0..n]),
+            loss::softmax(&logits[n..2 * n]),
+            loss::softmax(&logits[2 * n..3 * n]),
+            loss::softmax(&logits[3 * n..4 * n]),
+        ];
+        let t = out.dir.as_slice()[0];
+        Evaluation {
+            probs,
+            p_clockwise: (1.0 + t) / 2.0,
+            value: f64::from(out.value.as_slice()[0]),
+        }
+    }
+
+    /// Samples an action from the policy at the environment's current
+    /// state. The sample may be invalid or illegal — the paper relies on
+    /// the reward taxonomy, not masking, to teach constraints.
+    pub fn sample_action<E: Environment>(&mut self, env: &E, rng: &mut StdRng) -> E::Action {
+        let eval = self.evaluate(&env.state_tensor());
+        let mut coords = [0usize; 4];
+        for (h, c) in coords.iter_mut().enumerate() {
+            *c = sample_categorical(&eval.probs[h], rng);
+        }
+        let flag = rng.gen_bool(f64::from(eval.p_clockwise.clamp(0.0, 1.0)));
+        env.decode_action(coords, flag)
+    }
+
+    /// Accumulates actor-critic gradients for `episode` into the network
+    /// (without stepping the optimizer). Returns the per-episode stats.
+    ///
+    /// This is the child-thread side of the paper's §4.6 exchange; single
+    /// threaded training calls [`PolicyAgent::train_episode`] which also
+    /// steps.
+    pub fn accumulate_episode<E: Environment>(
+        &mut self,
+        env: &E,
+        episode: &Episode<E::Action>,
+    ) -> TrainStats {
+        let returns = episode.returns(self.config.gamma);
+        let n = self.net.config().n;
+        let mut policy_loss = 0.0f32;
+        let mut value_loss = 0.0f32;
+        for (step, &g_t) in episode.steps.iter().zip(&returns) {
+            let out = self.net.forward(&step.state, true);
+            let v = out.value.as_slice()[0];
+            let advantage = (g_t - f64::from(v)) as f32;
+            let (coords, flag) = env.encode_action(step.action);
+
+            let logits = out.coord_logits.as_slice();
+            let mut coord_grad = vec![0.0f32; 4 * n];
+            for h in 0..4 {
+                let (l, g) = loss::policy_head_grad(&logits[h * n..(h + 1) * n], coords[h], advantage);
+                policy_loss += l;
+                coord_grad[h * n..(h + 1) * n].copy_from_slice(&g);
+            }
+            let t = out.dir.as_slice()[0];
+            let (dl, dg) = loss::direction_head_grad(t, flag, advantage);
+            policy_loss += dl;
+            let (vl, vg) = loss::value_head_grad(v, g_t as f32);
+            value_loss += vl;
+
+            self.net.backward(&PolicyValueGrad {
+                coord_logits: Tensor::from_vec(coord_grad, &[1, 4, n])
+                    .expect("4N logits"),
+                dir: Tensor::from_vec(vec![dg], &[1, 1]).expect("scalar"),
+                value: Tensor::from_vec(vec![vg * self.config.value_coeff], &[1, 1])
+                    .expect("scalar"),
+            });
+        }
+        let steps = episode.steps.len().max(1);
+        TrainStats {
+            policy_loss: policy_loss / steps as f32,
+            value_loss: value_loss / steps as f32,
+            grad_norm: 0.0,
+            steps: episode.steps.len(),
+        }
+    }
+
+    /// Clips accumulated gradients and applies one optimizer step,
+    /// returning the pre-clip gradient norm.
+    pub fn step_optimizer(&mut self) -> f32 {
+        let clip = self.config.clip_norm;
+        let mut params = self.net.params_mut();
+        let norm = clip_global_norm(&mut params, clip);
+        self.optim.step(&mut params);
+        norm
+    }
+
+    /// Full single-threaded update: accumulate `episode`'s gradients, clip,
+    /// and step.
+    pub fn train_episode<E: Environment>(
+        &mut self,
+        env: &E,
+        episode: &Episode<E::Action>,
+    ) -> TrainStats {
+        let mut stats = self.accumulate_episode(env, episode);
+        stats.grad_norm = self.step_optimizer();
+        stats
+    }
+}
+
+/// Samples an index from an unnormalized probability table.
+fn sample_categorical(probs: &[f32], rng: &mut StdRng) -> usize {
+    let total: f32 = probs.iter().sum();
+    if total <= 0.0 {
+        return rng.gen_range(0..probs.len().max(1));
+    }
+    let mut draw = rng.gen_range(0.0..total);
+    for (i, &p) in probs.iter().enumerate() {
+        if draw < p {
+            return i;
+        }
+        draw -= p;
+    }
+    probs.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routerless::{LoopAction, RouterlessEnv};
+    use rlnoc_topology::{Direction, Grid};
+
+    fn tiny_env() -> RouterlessEnv {
+        RouterlessEnv::new(Grid::square(2).unwrap(), 2)
+    }
+
+    fn agent_for(env: &RouterlessEnv, seed: u64) -> PolicyAgent {
+        PolicyAgent::for_env(env, TrainConfig::default(), seed)
+    }
+
+    #[test]
+    fn returns_discounting() {
+        let ep = Episode {
+            steps: vec![
+                Step { state: Tensor::zeros(&[1]), action: 0u8, reward: 1.0 },
+                Step { state: Tensor::zeros(&[1]), action: 0u8, reward: -1.0 },
+            ],
+            final_return: 2.0,
+        };
+        let g = ep.returns(0.5);
+        // Last step: -1 + 2 = 1. First: 1 + 0.5 * 1 = 1.5.
+        assert_eq!(g, vec![1.5, 1.0]);
+    }
+
+    #[test]
+    fn returns_empty_episode() {
+        let ep: Episode<u8> = Episode { steps: vec![], final_return: 3.0 };
+        assert!(ep.returns(0.9).is_empty());
+    }
+
+    #[test]
+    fn evaluation_priors_form_distribution() {
+        let env = tiny_env();
+        let mut agent = agent_for(&env, 0);
+        let eval = agent.evaluate(&env.state_tensor());
+        for h in 0..4 {
+            let sum: f32 = eval.probs[h].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "head {h} sums to {sum}");
+        }
+        assert!((0.0..=1.0).contains(&eval.p_clockwise));
+        // Priors over all (coords, flag) combinations sum to 1.
+        let n = env.head_cardinality();
+        let mut total = 0.0f32;
+        for x1 in 0..n {
+            for y1 in 0..n {
+                for x2 in 0..n {
+                    for y2 in 0..n {
+                        for flag in [false, true] {
+                            total += eval.action_prior([x1, y1, x2, y2], flag);
+                        }
+                    }
+                }
+            }
+        }
+        assert!((total - 1.0).abs() < 1e-4, "priors total {total}");
+    }
+
+    #[test]
+    fn sampled_actions_decode_in_range() {
+        let env = RouterlessEnv::new(Grid::square(4).unwrap(), 6);
+        let mut agent = agent_for(&env, 1);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..30 {
+            let a = agent.sample_action(&env, &mut rng);
+            assert!(a.x1 < 4 && a.y1 < 4 && a.x2 < 4 && a.y2 < 4);
+        }
+    }
+
+    #[test]
+    fn training_on_positive_episode_raises_action_prior() {
+        let env = tiny_env();
+        let mut agent = agent_for(&env, 3);
+        let action = LoopAction::new(0, 0, 1, 1, Direction::Clockwise);
+        let state = env.state_tensor();
+        let before = agent
+            .evaluate(&state)
+            .action_prior(action.head_indices().0, true);
+        let episode = Episode {
+            steps: vec![Step { state: state.clone(), action, reward: 0.0 }],
+            final_return: 1.0,
+        };
+        for _ in 0..15 {
+            agent.train_episode(&env, &episode);
+        }
+        let after = agent
+            .evaluate(&state)
+            .action_prior(action.head_indices().0, true);
+        assert!(after > before, "prior should rise: {before} → {after}");
+    }
+
+    #[test]
+    fn value_head_tracks_return() {
+        let env = tiny_env();
+        let mut agent = agent_for(&env, 4);
+        let state = env.state_tensor();
+        let action = LoopAction::new(0, 0, 1, 1, Direction::Clockwise);
+        let episode = Episode {
+            steps: vec![Step { state: state.clone(), action, reward: 0.0 }],
+            final_return: -2.0,
+        };
+        for _ in 0..80 {
+            agent.train_episode(&env, &episode);
+        }
+        let v = agent.evaluate(&state).value;
+        assert!((v - (-2.0)).abs() < 0.7, "value {v} should approach -2");
+    }
+
+    #[test]
+    fn sample_categorical_degenerate() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(sample_categorical(&[0.0, 0.0, 1.0], &mut rng), 2);
+        // All-zero table falls back to uniform without panicking.
+        let i = sample_categorical(&[0.0, 0.0], &mut rng);
+        assert!(i < 2);
+    }
+}

@@ -1,0 +1,517 @@
+//! The routerless NoC design environment — the paper's case study.
+
+use crate::env::Environment;
+use rlnoc_nn::Tensor;
+use rlnoc_topology::{Direction, Grid, RectLoop, Topology, TopologyError};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// An agent action: propose adding the rectangular loop with diagonal
+/// corners `(x1, y1)`, `(x2, y2)` and circulation `dir` — the paper's
+/// `(x1, y1, x2, y2, dir)` encoding (§4.2).
+///
+/// Unlike [`RectLoop`], a `LoopAction` may be degenerate (`x1 == x2` or
+/// `y1 == y2`): proposing one is an *invalid* action that earns a −1
+/// penalty rather than a construction error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LoopAction {
+    /// First corner column.
+    pub x1: usize,
+    /// First corner row.
+    pub y1: usize,
+    /// Second corner column.
+    pub x2: usize,
+    /// Second corner row.
+    pub y2: usize,
+    /// Packet circulation direction.
+    pub dir: Direction,
+}
+
+impl LoopAction {
+    /// Creates an action from raw coordinates.
+    pub fn new(x1: usize, y1: usize, x2: usize, y2: usize, dir: Direction) -> Self {
+        LoopAction { x1, y1, x2, y2, dir }
+    }
+
+    /// Converts to a validated [`RectLoop`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::DegenerateLoop`] for non-rectangular
+    /// proposals.
+    pub fn to_loop(self) -> Result<RectLoop, TopologyError> {
+        RectLoop::new(self.x1, self.y1, self.x2, self.y2, self.dir)
+    }
+
+    /// The categorical indices `(x1, y1, x2, y2)` used by the four policy
+    /// heads, plus the clockwise flag for the direction head.
+    pub fn head_indices(self) -> ([usize; 4], bool) {
+        (
+            [self.x1, self.y1, self.x2, self.y2],
+            self.dir == Direction::Clockwise,
+        )
+    }
+}
+
+impl From<RectLoop> for LoopAction {
+    fn from(l: RectLoop) -> Self {
+        let (x1, y1, x2, y2, d) = l.encode();
+        LoopAction::new(x1, y1, x2, y2, Direction::from_bit(d))
+    }
+}
+
+/// Wiring/design constraints enforced by the environment.
+///
+/// The paper's evaluation constrains node overlapping; §6.2 points out that
+/// "other constraints, such as maximum loop length …, can also be
+/// integrated into the reward function" — this type is where they live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DesignConstraints {
+    /// Maximum loops through any node interface (wiring budget).
+    pub overlap_cap: u32,
+    /// Optional cap on a loop's perimeter length in nodes (bounds the
+    /// worst-case on-loop latency and repeater cost).
+    pub max_loop_length: Option<usize>,
+}
+
+impl DesignConstraints {
+    /// Constraints with only the overlap cap set.
+    pub fn overlap_only(cap: u32) -> Self {
+        DesignConstraints {
+            overlap_cap: cap,
+            max_loop_length: None,
+        }
+    }
+}
+
+/// The routerless NoC environment: a [`Topology`] under construction with a
+/// node-overlapping cap, implementing the paper's state encoding (§4.2) and
+/// reward taxonomy (§4.3).
+///
+/// # Example
+///
+/// ```
+/// use rlnoc_core::routerless::{RouterlessEnv, LoopAction};
+/// use rlnoc_core::Environment;
+/// use rlnoc_topology::{Direction, Grid};
+///
+/// let mut env = RouterlessEnv::new(Grid::square(2).unwrap(), 2);
+/// let r = env.apply(LoopAction::new(0, 0, 1, 1, Direction::Clockwise));
+/// assert_eq!(r, 0.0); // valid addition
+/// let r = env.apply(LoopAction::new(0, 0, 1, 1, Direction::Clockwise));
+/// assert_eq!(r, -1.0); // repetitive
+/// ```
+#[derive(Debug, Clone)]
+pub struct RouterlessEnv {
+    grid: Grid,
+    constraints: DesignConstraints,
+    topo: Topology,
+    mesh_avg: f64,
+    /// Sum of all rewards received since the last reset (penalties plus the
+    /// final return once terminal).
+    reward_accum: f64,
+}
+
+impl RouterlessEnv {
+    /// Creates a blank environment on `grid` with node-overlapping cap
+    /// `cap` and no other constraints.
+    pub fn new(grid: Grid, cap: u32) -> Self {
+        RouterlessEnv::with_constraints(grid, DesignConstraints::overlap_only(cap))
+    }
+
+    /// Creates a blank environment with the full constraint set.
+    pub fn with_constraints(grid: Grid, constraints: DesignConstraints) -> Self {
+        RouterlessEnv {
+            grid,
+            constraints,
+            topo: Topology::new(grid),
+            mesh_avg: rlnoc_topology::mesh::average_hops(&grid),
+            reward_accum: 0.0,
+        }
+    }
+
+    /// The grid being designed for.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// The node-overlapping cap.
+    pub fn overlap_cap(&self) -> u32 {
+        self.constraints.overlap_cap
+    }
+
+    /// All active design constraints.
+    pub fn constraints(&self) -> &DesignConstraints {
+        &self.constraints
+    }
+
+    /// Whether `ring` satisfies every constraint *other than* duplication
+    /// against the current design (overlap cap and loop-length cap).
+    pub fn satisfies_constraints(&self, ring: &RectLoop) -> bool {
+        self.constraints
+            .max_loop_length
+            .is_none_or(|cap| ring.num_nodes() <= cap)
+            && self
+                .topo
+                .overlap_violation(ring, self.constraints.overlap_cap)
+                .is_none()
+    }
+
+    /// The design built so far.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Consumes the environment, returning the design.
+    pub fn into_topology(self) -> Topology {
+        self.topo
+    }
+
+    /// Average hop count of the current design (sentinel-weighted while
+    /// incomplete).
+    pub fn average_hops(&self) -> f64 {
+        self.topo.average_hops()
+    }
+
+    /// Whether the current design is fully connected.
+    pub fn is_fully_connected(&self) -> bool {
+        self.topo.is_fully_connected()
+    }
+
+    /// The mesh average hop count used as the final-return reference.
+    pub fn mesh_average_hops(&self) -> f64 {
+        self.mesh_avg
+    }
+
+    /// The illegal-action penalty, −5·N for an N-wide grid (§4.3).
+    pub fn illegal_penalty(&self) -> f64 {
+        -(self.grid.unconnected_hops() as f64)
+    }
+
+    /// Classifies and applies an action without consuming it; shared by
+    /// [`Environment::apply`].
+    fn try_apply(&mut self, action: LoopAction) -> f64 {
+        let ring = match action.to_loop() {
+            Ok(r) => r,
+            Err(_) => return -1.0, // invalid: not a rectangle
+        };
+        if ring.check_on(&self.grid).is_err() {
+            return -1.0; // invalid: outside the grid
+        }
+        if self.topo.contains_loop(&ring) {
+            return -1.0; // repetitive
+        }
+        if !self.satisfies_constraints(&ring) {
+            return self.illegal_penalty(); // illegal: violates a constraint
+        }
+        self.topo
+            .add_loop(ring)
+            .expect("validated above; addition cannot fail");
+        0.0
+    }
+}
+
+impl Environment for RouterlessEnv {
+    type Action = LoopAction;
+
+    fn reset(&mut self) {
+        self.topo = Topology::new(self.grid);
+        self.reward_accum = 0.0;
+    }
+
+    fn state_key(&self) -> u64 {
+        // Order-independent over the loop set: the same design reached via
+        // different insertion orders is one MCTS node.
+        let mut encoded: Vec<_> = self.topo.loops().iter().map(|l| l.encode()).collect();
+        encoded.sort_unstable();
+        let mut h = DefaultHasher::new();
+        self.grid.hash(&mut h);
+        encoded.hash(&mut h);
+        h.finish()
+    }
+
+    fn state_tensor(&self) -> Tensor {
+        let side = self.grid.len();
+        let raw = self.topo.hop_matrix().to_state_tensor(&self.grid);
+        // Normalize by the sentinel so inputs lie in [0, 1].
+        let scale = 1.0 / self.grid.unconnected_hops() as f32;
+        let data = raw.into_iter().map(|v| v * scale).collect();
+        Tensor::from_vec(data, &[1, 1, side, side]).expect("N²·N² elements")
+    }
+
+    fn state_side(&self) -> usize {
+        self.grid.len()
+    }
+
+    fn apply(&mut self, action: LoopAction) -> f64 {
+        let r = self.try_apply(action);
+        self.reward_accum += r;
+        r
+    }
+
+    fn is_terminal(&self) -> bool {
+        // Terminal when no legal loop remains under the cap.
+        self.first_legal_action().is_none()
+    }
+
+    fn final_return(&self) -> f64 {
+        self.mesh_avg - self.topo.average_hops()
+    }
+
+    fn legal_actions(&self) -> Vec<LoopAction> {
+        let mut out = Vec::new();
+        self.for_each_legal(|a| out.push(a));
+        out
+    }
+
+    fn head_cardinality(&self) -> usize {
+        self.grid.width().max(self.grid.height())
+    }
+
+    fn encode_action(&self, action: LoopAction) -> ([usize; 4], bool) {
+        action.head_indices()
+    }
+
+    fn decode_action(&self, coords: [usize; 4], flag: bool) -> LoopAction {
+        LoopAction::new(
+            coords[0],
+            coords[1],
+            coords[2],
+            coords[3],
+            if flag {
+                Direction::Clockwise
+            } else {
+                Direction::Counterclockwise
+            },
+        )
+    }
+
+    fn is_successful(&self) -> bool {
+        self.is_fully_connected()
+    }
+
+    fn greedy_action(&self) -> Option<LoopAction> {
+        crate::greedy::greedy_action(self)
+    }
+
+    fn completion_action(&self) -> Option<LoopAction> {
+        if self.is_fully_connected() {
+            crate::greedy::greedy_action(self)
+        } else {
+            crate::greedy::completion_action(self)
+        }
+    }
+}
+
+impl RouterlessEnv {
+    /// Visits legal actions (both directions of every in-cap, non-duplicate
+    /// rectangle) in scan order until `f` returns `false`.
+    fn scan_legal(&self, mut f: impl FnMut(LoopAction) -> bool) {
+        let (w, h) = (self.grid.width(), self.grid.height());
+        for x1 in 0..w {
+            for x2 in x1 + 1..w {
+                for y1 in 0..h {
+                    for y2 in y1 + 1..h {
+                        let base = RectLoop::new(x1, y1, x2, y2, Direction::Clockwise)
+                            .expect("non-degenerate by construction");
+                        if !self.satisfies_constraints(&base) {
+                            continue;
+                        }
+                        for ring in [base, base.reversed()] {
+                            if !self.topo.contains_loop(&ring) && !f(ring.into()) {
+                                return;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Visits every legal action.
+    fn for_each_legal(&self, mut f: impl FnMut(LoopAction)) {
+        self.scan_legal(|a| {
+            f(a);
+            true
+        });
+    }
+
+    /// The first legal action in scan order, if any.
+    pub fn first_legal_action(&self) -> Option<LoopAction> {
+        let mut found = None;
+        self.scan_legal(|a| {
+            found = Some(a);
+            false
+        });
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env4() -> RouterlessEnv {
+        RouterlessEnv::new(Grid::square(4).unwrap(), 6)
+    }
+
+    #[test]
+    fn reward_taxonomy() {
+        let mut env = env4();
+        // Valid.
+        assert_eq!(env.apply(LoopAction::new(0, 0, 3, 3, Direction::Clockwise)), 0.0);
+        // Repetitive.
+        assert_eq!(env.apply(LoopAction::new(0, 0, 3, 3, Direction::Clockwise)), -1.0);
+        // Invalid (degenerate).
+        assert_eq!(env.apply(LoopAction::new(1, 0, 1, 3, Direction::Clockwise)), -1.0);
+        // Invalid (out of bounds).
+        assert_eq!(env.apply(LoopAction::new(0, 0, 4, 4, Direction::Clockwise)), -1.0);
+        assert_eq!(env.topology().loops().len(), 1);
+    }
+
+    #[test]
+    fn illegal_penalty_is_5n() {
+        let mut env = RouterlessEnv::new(Grid::square(4).unwrap(), 1);
+        assert_eq!(env.apply(LoopAction::new(0, 0, 3, 3, Direction::Clockwise)), 0.0);
+        // Any loop sharing a node with the first now violates cap 1.
+        let r = env.apply(LoopAction::new(0, 0, 3, 3, Direction::Counterclockwise));
+        assert_eq!(r, -20.0, "-5*N for N=4");
+    }
+
+    #[test]
+    fn state_key_order_independent() {
+        let a1 = LoopAction::new(0, 0, 1, 1, Direction::Clockwise);
+        let a2 = LoopAction::new(2, 2, 3, 3, Direction::Clockwise);
+        let mut e1 = env4();
+        e1.apply(a1);
+        e1.apply(a2);
+        let mut e2 = env4();
+        e2.apply(a2);
+        e2.apply(a1);
+        assert_eq!(e1.state_key(), e2.state_key());
+        let mut e3 = env4();
+        e3.apply(a1);
+        assert_ne!(e1.state_key(), e3.state_key());
+    }
+
+    #[test]
+    fn state_tensor_shape_and_normalization() {
+        let mut env = env4();
+        let t = env.state_tensor();
+        assert_eq!(t.shape(), &[1, 1, 16, 16]);
+        // Blank design: all off-diagonal entries are the sentinel → 1.0.
+        assert_eq!(t.max(), 1.0);
+        env.apply(LoopAction::new(0, 0, 3, 3, Direction::Clockwise));
+        let t = env.state_tensor();
+        assert!(t.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn terminal_when_cap_exhausted() {
+        let mut env = RouterlessEnv::new(Grid::square(2).unwrap(), 1);
+        assert!(!env.is_terminal());
+        env.apply(LoopAction::new(0, 0, 1, 1, Direction::Clockwise));
+        // Every node now has overlap 1 = cap; the only other loop (reverse
+        // direction) would violate it.
+        assert!(env.is_terminal());
+        assert!(env.legal_actions().is_empty());
+    }
+
+    #[test]
+    fn legal_actions_complete_and_legal() {
+        let mut env = RouterlessEnv::new(Grid::square(3).unwrap(), 2);
+        env.apply(LoopAction::new(0, 0, 2, 2, Direction::Clockwise));
+        let legal = env.legal_actions();
+        assert!(!legal.is_empty());
+        for a in legal {
+            let mut probe = env.clone();
+            assert_eq!(probe.apply(a), 0.0, "advertised legal action {a:?}");
+        }
+    }
+
+    #[test]
+    fn final_return_improves_with_connectivity() {
+        let mut env = env4();
+        let blank = env.final_return();
+        env.apply(LoopAction::new(0, 0, 3, 3, Direction::Clockwise));
+        env.apply(LoopAction::new(0, 0, 3, 3, Direction::Counterclockwise));
+        assert!(env.final_return() > blank, "connecting nodes must help");
+        assert!(env.final_return() < 0.0, "still worse than mesh");
+    }
+
+    #[test]
+    fn reset_restores_blank_state() {
+        let mut env = env4();
+        let blank_key = env.state_key();
+        env.apply(LoopAction::new(0, 0, 2, 2, Direction::Clockwise));
+        assert_ne!(env.state_key(), blank_key);
+        env.reset();
+        assert_eq!(env.state_key(), blank_key);
+        assert!(env.topology().loops().is_empty());
+    }
+
+    #[test]
+    fn max_loop_length_constraint() {
+        use crate::env::Environment as _;
+        let constraints = DesignConstraints {
+            overlap_cap: 6,
+            max_loop_length: Some(8),
+        };
+        let mut env = RouterlessEnv::with_constraints(Grid::square(4).unwrap(), constraints);
+        // The 12-node outer ring violates the length cap: illegal, −5·N.
+        let r = env.apply(LoopAction::new(0, 0, 3, 3, Direction::Clockwise));
+        assert_eq!(r, -20.0);
+        // An 8-node loop is fine.
+        let r = env.apply(LoopAction::new(0, 0, 1, 3, Direction::Clockwise));
+        assert_eq!(r, 0.0);
+        // Legal actions and greedy respect the cap.
+        for a in env.legal_actions() {
+            let ring = a.to_loop().unwrap();
+            assert!(ring.num_nodes() <= 8, "advertised over-long loop {a:?}");
+        }
+        let g = env.greedy_action().unwrap();
+        assert!(g.to_loop().unwrap().num_nodes() <= 8);
+    }
+
+    #[test]
+    fn length_constrained_rollout() {
+        // §6.2's "maximum loop length" scenario. A loop through a grid
+        // corner is necessarily cornered there, so opposite corners can
+        // only ever share the full outer ring (4N−4 nodes): a length cap
+        // of exactly 4N−4 still permits full connectivity, while anything
+        // tighter provably cannot connect the corners.
+        use crate::env::Environment as _;
+        let run = |max_len: usize| {
+            let constraints = DesignConstraints {
+                overlap_cap: 8,
+                max_loop_length: Some(max_len),
+            };
+            let mut env = RouterlessEnv::with_constraints(Grid::square(4).unwrap(), constraints);
+            while let Some(a) = env.greedy_action() {
+                env.apply(a);
+                if env.is_fully_connected() {
+                    break;
+                }
+            }
+            env
+        };
+        let tight = run(10);
+        assert!(!tight.is_fully_connected(), "corners cannot connect");
+        let corner_a = tight.grid().node_at(0, 0);
+        let corner_b = tight.grid().node_at(3, 3);
+        assert!(!tight.topology().hop_matrix().is_connected(corner_a, corner_b));
+        assert!(tight.topology().loops().iter().all(|l| l.num_nodes() <= 10));
+
+        let exact = run(12);
+        assert!(exact.is_fully_connected());
+        assert!(exact.topology().loops().iter().all(|l| l.num_nodes() <= 12));
+    }
+
+    #[test]
+    fn head_indices_round_trip() {
+        let a = LoopAction::new(1, 2, 3, 0, Direction::Counterclockwise);
+        let (coords, cw) = a.head_indices();
+        assert_eq!(coords, [1, 2, 3, 0]);
+        assert!(!cw);
+    }
+}

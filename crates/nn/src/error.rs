@@ -1,0 +1,37 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by tensor and network operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// Two tensors (or a tensor and an expectation) had incompatible shapes.
+    ShapeMismatch {
+        /// Shape that was expected by the operation.
+        expected: Vec<usize>,
+        /// Shape that was provided.
+        actual: Vec<usize>,
+    },
+    /// A reshape would change the number of elements.
+    BadReshape {
+        /// Element count of the source tensor.
+        from: usize,
+        /// Element count implied by the requested shape.
+        to: usize,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected:?}, got {actual:?}")
+            }
+            NnError::BadReshape { from, to } => {
+                write!(f, "reshape changes element count from {from} to {to}")
+            }
+        }
+    }
+}
+
+impl Error for NnError {}

@@ -1,0 +1,53 @@
+//! Weight initialization: deterministic He/Xavier schemes.
+
+use crate::Tensor;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Draws a tensor with the given shape from a uniform distribution scaled
+/// by the He fan-in rule, `U(-b, b)` with `b = sqrt(6 / fan_in)` — suitable
+/// for ReLU networks.
+pub fn he_uniform(shape: &[usize], fan_in: usize, rng: &mut StdRng) -> Tensor {
+    let bound = (6.0 / fan_in.max(1) as f32).sqrt();
+    uniform(shape, bound, rng)
+}
+
+/// Draws a tensor from the Xavier/Glorot uniform distribution,
+/// `U(-b, b)` with `b = sqrt(6 / (fan_in + fan_out))` — suitable for
+/// tanh/linear outputs.
+pub fn xavier_uniform(shape: &[usize], fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Tensor {
+    let bound = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    uniform(shape, bound, rng)
+}
+
+fn uniform(shape: &[usize], bound: f32, rng: &mut StdRng) -> Tensor {
+    let len: usize = shape.iter().product();
+    let data = (0..len).map(|_| rng.gen_range(-bound..bound)).collect();
+    Tensor::from_vec(data, shape).expect("length matches shape by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn he_bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = he_uniform(&[64, 64], 64, &mut rng);
+        let bound = (6.0f32 / 64.0).sqrt();
+        assert!(t.as_slice().iter().all(|&x| x.abs() <= bound));
+        // Not all identical (RNG actually used).
+        assert!(t.as_slice().iter().any(|&x| x != t.as_slice()[0]));
+    }
+
+    #[test]
+    fn xavier_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        assert_eq!(
+            xavier_uniform(&[8, 8], 8, 8, &mut a),
+            xavier_uniform(&[8, 8], 8, 8, &mut b)
+        );
+    }
+}

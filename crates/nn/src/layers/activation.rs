@@ -1,0 +1,106 @@
+use super::Layer;
+use crate::Tensor;
+
+/// Rectified linear unit, `max(0, x)`.
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    cache: Option<Tensor>,
+}
+
+impl Relu {
+    /// Creates a ReLU activation.
+    pub fn new() -> Self {
+        Relu::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        self.cache = Some(x.clone());
+        x.map(|v| v.max(0.0))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cache.as_ref().expect("backward before forward");
+        assert_eq!(x.shape(), grad_out.shape(), "gradient shape mismatch");
+        let mut g = grad_out.clone();
+        for (gi, &xi) in g.as_mut_slice().iter_mut().zip(x.as_slice()) {
+            if xi <= 0.0 {
+                *gi = 0.0;
+            }
+        }
+        g
+    }
+}
+
+/// Hyperbolic tangent activation, used by the paper for the loop-direction
+/// head (`dir > 0` ⇒ clockwise).
+#[derive(Debug, Clone, Default)]
+pub struct Tanh {
+    cache: Option<Tensor>,
+}
+
+impl Tanh {
+    /// Creates a tanh activation.
+    pub fn new() -> Self {
+        Tanh::default()
+    }
+}
+
+impl Layer for Tanh {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        let y = x.map(f32::tanh);
+        self.cache = Some(y.clone());
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let y = self.cache.as_ref().expect("backward before forward");
+        assert_eq!(y.shape(), grad_out.shape(), "gradient shape mismatch");
+        // d tanh = 1 - tanh².
+        let mut g = grad_out.clone();
+        for (gi, &yi) in g.as_mut_slice().iter_mut().zip(y.as_slice()) {
+            *gi *= 1.0 - yi * yi;
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]).unwrap();
+        assert_eq!(r.forward(&x, false).as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_gradient_masks() {
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 3.0], &[2]).unwrap();
+        let _ = r.forward(&x, true);
+        let g = r.backward(&Tensor::from_vec(vec![5.0, 5.0], &[2]).unwrap());
+        assert_eq!(g.as_slice(), &[0.0, 5.0]);
+    }
+
+    #[test]
+    fn tanh_range_and_sign() {
+        let mut t = Tanh::new();
+        let x = Tensor::from_vec(vec![-10.0, 0.0, 10.0], &[3]).unwrap();
+        let y = t.forward(&x, false);
+        assert!(y.as_slice()[0] < -0.99);
+        assert_eq!(y.as_slice()[1], 0.0);
+        assert!(y.as_slice()[2] > 0.99);
+    }
+
+    #[test]
+    fn gradcheck_tanh() {
+        let mut t = Tanh::new();
+        let x = Tensor::from_vec(vec![-0.5, 0.1, 0.9, 2.0], &[4]).unwrap();
+        gradcheck::check_input_grad(&mut t, &x, 1e-2);
+    }
+}

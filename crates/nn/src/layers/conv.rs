@@ -1,0 +1,215 @@
+use super::{Layer, Param};
+use crate::{init, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A 2-D convolution with stride 1 and "same" zero padding.
+///
+/// Input and output are NCHW. The kernel tensor has shape
+/// `[out_channels, in_channels, k, k]`; padding is `k / 2`, so odd kernel
+/// sizes preserve spatial dimensions exactly.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    weight: Param,
+    bias: Param,
+    in_c: usize,
+    out_c: usize,
+    k: usize,
+    cache: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with He-initialized weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is even (same-padding requires odd kernels) or any
+    /// dimension is zero.
+    pub fn new(in_c: usize, out_c: usize, k: usize, seed: u64) -> Self {
+        assert!(k % 2 == 1, "kernel size must be odd for same padding");
+        assert!(in_c > 0 && out_c > 0 && k > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fan_in = in_c * k * k;
+        Conv2d {
+            weight: Param::new(init::he_uniform(&[out_c, in_c, k, k], fan_in, &mut rng)),
+            bias: Param::new(Tensor::zeros(&[out_c])),
+            in_c,
+            out_c,
+            k,
+            cache: None,
+        }
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_c
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        let [n, c, h, w] = shape4(x);
+        assert_eq!(c, self.in_c, "input channel mismatch");
+        let pad = self.k / 2;
+        let mut out = Tensor::zeros(&[n, self.out_c, h, w]);
+        let xd = x.as_slice();
+        let wd = self.weight.value.as_slice();
+        let bd = self.bias.value.as_slice();
+        let od = out.as_mut_slice();
+        for b in 0..n {
+            for oc in 0..self.out_c {
+                let obase = ((b * self.out_c) + oc) * h * w;
+                for oy in 0..h {
+                    for ox in 0..w {
+                        let mut acc = bd[oc];
+                        for ic in 0..self.in_c {
+                            let ibase = ((b * c) + ic) * h * w;
+                            let wbase = ((oc * self.in_c) + ic) * self.k * self.k;
+                            for ky in 0..self.k {
+                                let iy = oy + ky;
+                                if iy < pad || iy - pad >= h {
+                                    continue;
+                                }
+                                let iy = iy - pad;
+                                for kx in 0..self.k {
+                                    let ix = ox + kx;
+                                    if ix < pad || ix - pad >= w {
+                                        continue;
+                                    }
+                                    let ix = ix - pad;
+                                    acc += xd[ibase + iy * w + ix]
+                                        * wd[wbase + ky * self.k + kx];
+                                }
+                            }
+                        }
+                        od[obase + oy * w + ox] = acc;
+                    }
+                }
+            }
+        }
+        self.cache = Some(x.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cache.as_ref().expect("backward before forward");
+        let [n, c, h, w] = shape4(x);
+        let pad = self.k / 2;
+        let mut gx = Tensor::zeros(&[n, c, h, w]);
+        let xd = x.as_slice();
+        let wd = self.weight.value.as_slice();
+        let god = grad_out.as_slice();
+        let gw = self.weight.grad.as_mut_slice();
+        let gb = self.bias.grad.as_mut_slice();
+        let gxd = gx.as_mut_slice();
+        for b in 0..n {
+            for oc in 0..self.out_c {
+                let obase = ((b * self.out_c) + oc) * h * w;
+                for oy in 0..h {
+                    for ox in 0..w {
+                        let go = god[obase + oy * w + ox];
+                        if go == 0.0 {
+                            continue;
+                        }
+                        gb[oc] += go;
+                        for ic in 0..self.in_c {
+                            let ibase = ((b * c) + ic) * h * w;
+                            let wbase = ((oc * self.in_c) + ic) * self.k * self.k;
+                            for ky in 0..self.k {
+                                let iy = oy + ky;
+                                if iy < pad || iy - pad >= h {
+                                    continue;
+                                }
+                                let iy = iy - pad;
+                                for kx in 0..self.k {
+                                    let ix = ox + kx;
+                                    if ix < pad || ix - pad >= w {
+                                        continue;
+                                    }
+                                    let ix = ix - pad;
+                                    gw[wbase + ky * self.k + kx] += go * xd[ibase + iy * w + ix];
+                                    gxd[ibase + iy * w + ix] += go * wd[wbase + ky * self.k + kx];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        gx
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+/// Extracts `[n, c, h, w]` from a 4-D tensor.
+///
+/// # Panics
+///
+/// Panics if the tensor is not 4-D.
+pub(crate) fn shape4(x: &Tensor) -> [usize; 4] {
+    let s = x.shape();
+    assert_eq!(s.len(), 4, "expected NCHW tensor, got shape {s:?}");
+    [s[0], s[1], s[2], s[3]]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck;
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        let mut conv = Conv2d::new(1, 1, 3, 0);
+        // Set kernel to the identity (center tap 1), bias 0.
+        let mut w = Tensor::zeros(&[1, 1, 3, 3]);
+        w.set(&[0, 0, 1, 1], 1.0);
+        conv.weight.value = w;
+        conv.bias.value = Tensor::zeros(&[1]);
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]).unwrap();
+        let y = conv.forward(&x, false);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn same_padding_preserves_shape() {
+        let mut conv = Conv2d::new(3, 5, 3, 1);
+        let x = Tensor::zeros(&[2, 3, 6, 7]);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.shape(), &[2, 5, 6, 7]);
+    }
+
+    #[test]
+    fn bias_applied_everywhere() {
+        let mut conv = Conv2d::new(1, 2, 3, 2);
+        conv.weight.value = Tensor::zeros(&[2, 1, 3, 3]);
+        conv.bias.value = Tensor::from_vec(vec![1.5, -0.5], &[2]).unwrap();
+        let y = conv.forward(&Tensor::zeros(&[1, 1, 2, 2]), false);
+        assert!(y.as_slice()[..4].iter().all(|&v| v == 1.5));
+        assert!(y.as_slice()[4..].iter().all(|&v| v == -0.5));
+    }
+
+    #[test]
+    fn gradcheck_input() {
+        let mut conv = Conv2d::new(2, 3, 3, 3);
+        let x = Tensor::from_vec(
+            (0..2 * 4 * 4).map(|v| (v as f32 * 0.13).sin()).collect(),
+            &[1, 2, 4, 4],
+        )
+        .unwrap();
+        gradcheck::check_input_grad(&mut conv, &x, 2e-2);
+    }
+
+    #[test]
+    fn gradcheck_params() {
+        let mut conv = Conv2d::new(1, 2, 3, 4);
+        let x = Tensor::from_vec(
+            (0..9).map(|v| (v as f32 * 0.31).cos()).collect(),
+            &[1, 1, 3, 3],
+        )
+        .unwrap();
+        gradcheck::check_param_grads(&mut conv, &x, 2e-2);
+    }
+}

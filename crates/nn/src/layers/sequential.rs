@@ -1,0 +1,97 @@
+use super::{Layer, Param};
+use crate::Tensor;
+
+/// A chain of layers applied in order.
+///
+/// `Sequential` is itself a [`Layer`], so stacks nest naturally (the
+/// policy/value heads in [`crate::PolicyValueNet`] are each a
+/// `Sequential`).
+#[derive(Debug, Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        Sequential::default()
+    }
+
+    /// Appends a layer, builder style.
+    #[must_use]
+    pub fn with(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a layer in place.
+    pub fn push(&mut self, layer: impl Layer + 'static) {
+        self.layers.push(Box::new(layer));
+    }
+
+    /// Number of layers in the stack.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur, train);
+        }
+        cur
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Linear, Relu};
+
+    #[test]
+    fn chains_forward_and_backward() {
+        let mut net = Sequential::new()
+            .with(Linear::new(2, 3, 0))
+            .with(Relu::new())
+            .with(Linear::new(3, 1, 1));
+        let x = Tensor::from_vec(vec![0.5, -0.5], &[1, 2]).unwrap();
+        let y = net.forward(&x, true);
+        assert_eq!(y.shape(), &[1, 1]);
+        let gx = net.backward(&Tensor::full(&[1, 1], 1.0));
+        assert_eq!(gx.shape(), &[1, 2]);
+        assert_eq!(net.params_mut().len(), 4, "two linears × (W, b)");
+    }
+
+    #[test]
+    fn zero_grad_clears_all() {
+        let mut net = Sequential::new().with(Linear::new(2, 2, 0));
+        let x = Tensor::full(&[1, 2], 1.0);
+        let _ = net.forward(&x, true);
+        let _ = net.backward(&Tensor::full(&[1, 2], 1.0));
+        assert!(net.params_mut().iter().any(|p| p.grad.norm() > 0.0));
+        net.zero_grad();
+        assert!(net.params_mut().iter().all(|p| p.grad.norm() == 0.0));
+    }
+}

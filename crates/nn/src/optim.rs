@@ -1,0 +1,219 @@
+//! Optimizers: SGD with momentum and Adam, plus global-norm gradient
+//! clipping (the stabilization the paper's multi-threaded training relies
+//! on when averaging "both large gradients and small gradients", §4.6).
+
+use crate::layers::Param;
+use crate::Tensor;
+
+/// Scales all gradients so their global L2 norm does not exceed
+/// `max_norm`. Returns the pre-clip norm.
+pub fn clip_global_norm(params: &mut [&mut Param], max_norm: f32) -> f32 {
+    let norm: f32 = params
+        .iter()
+        .map(|p| {
+            let n = p.grad.norm();
+            n * n
+        })
+        .sum::<f32>()
+        .sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for p in params.iter_mut() {
+            p.grad = p.grad.scale(scale);
+        }
+    }
+    norm
+}
+
+/// Stochastic gradient descent with classical momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer with learning rate `lr` and momentum
+    /// coefficient `momentum` (0 disables momentum).
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Current learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    /// Replaces the learning rate (for schedules).
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Applies one update step to `params` from their accumulated
+    /// gradients, then zeroes the gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter list changes shape between calls.
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        if self.velocity.is_empty() {
+            self.velocity = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+        }
+        assert_eq!(self.velocity.len(), params.len(), "parameter set changed");
+        for (p, v) in params.iter_mut().zip(&mut self.velocity) {
+            assert_eq!(v.shape(), p.value.shape(), "parameter shape changed");
+            *v = v.scale(self.momentum);
+            v.add_scaled(&p.grad, 1.0);
+            p.value.add_scaled(v, -self.lr);
+            p.zero_grad();
+        }
+    }
+}
+
+/// The Adam optimizer (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates Adam with the given learning rate and default betas
+    /// `(0.9, 0.999)`.
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Current learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    /// Replaces the learning rate (for schedules).
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Applies one Adam step to `params`, then zeroes their gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter list changes shape between calls.
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        if self.m.is_empty() {
+            self.m = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+            self.v = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+        }
+        assert_eq!(self.m.len(), params.len(), "parameter set changed");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, m), v) in params.iter_mut().zip(&mut self.m).zip(&mut self.v) {
+            let g = p.grad.as_slice();
+            let mv = m.as_mut_slice();
+            let vv = v.as_mut_slice();
+            let pv = p.value.as_mut_slice();
+            for i in 0..g.len() {
+                mv[i] = self.beta1 * mv[i] + (1.0 - self.beta1) * g[i];
+                vv[i] = self.beta2 * vv[i] + (1.0 - self.beta2) * g[i] * g[i];
+                let mhat = mv[i] / bc1;
+                let vhat = vv[i] / bc2;
+                pv[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+            p.zero_grad();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_param(x0: f32) -> Param {
+        Param::new(Tensor::from_vec(vec![x0], &[1]).unwrap())
+    }
+
+    /// Minimize f(x) = (x - 3)² with each optimizer.
+    fn run<F: FnMut(&mut [&mut Param])>(p: &mut Param, mut step: F, iters: usize) -> f32 {
+        for _ in 0..iters {
+            let x = p.value.as_slice()[0];
+            p.grad = Tensor::from_vec(vec![2.0 * (x - 3.0)], &[1]).unwrap();
+            let mut params = [&mut *p];
+            step(&mut params);
+        }
+        p.value.as_slice()[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut p = quadratic_param(0.0);
+        let mut opt = Sgd::new(0.1, 0.0);
+        let x = run(&mut p, |ps| opt.step(ps), 100);
+        assert!((x - 3.0).abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut p = quadratic_param(-5.0);
+        let mut opt = Sgd::new(0.05, 0.9);
+        let x = run(&mut p, |ps| opt.step(ps), 200);
+        assert!((x - 3.0).abs() < 1e-2, "x = {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut p = quadratic_param(10.0);
+        let mut opt = Adam::new(0.3);
+        let x = run(&mut p, |ps| opt.step(ps), 300);
+        assert!((x - 3.0).abs() < 1e-2, "x = {x}");
+    }
+
+    #[test]
+    fn step_zeroes_gradients() {
+        let mut p = quadratic_param(0.0);
+        p.grad = Tensor::from_vec(vec![1.0], &[1]).unwrap();
+        let mut opt = Sgd::new(0.1, 0.0);
+        let mut params = [&mut p];
+        opt.step(&mut params);
+        assert_eq!(p.grad.as_slice(), &[0.0]);
+    }
+
+    #[test]
+    fn clip_rescales_only_when_needed() {
+        let mut a = quadratic_param(0.0);
+        a.grad = Tensor::from_vec(vec![3.0], &[1]).unwrap();
+        let mut b = quadratic_param(0.0);
+        b.grad = Tensor::from_vec(vec![4.0], &[1]).unwrap();
+        {
+            let mut params = [&mut a, &mut b];
+            let norm = clip_global_norm(&mut params, 10.0);
+            assert!((norm - 5.0).abs() < 1e-6);
+        }
+        assert_eq!(a.grad.as_slice(), &[3.0], "below cap: untouched");
+        {
+            let mut params = [&mut a, &mut b];
+            let norm = clip_global_norm(&mut params, 1.0);
+            assert!((norm - 5.0).abs() < 1e-6);
+        }
+        assert!((a.grad.as_slice()[0] - 0.6).abs() < 1e-6);
+        assert!((b.grad.as_slice()[0] - 0.8).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,83 @@
+use serde::{Deserialize, Serialize};
+
+/// Simulation parameters shared by all fabrics, defaulting to the paper's
+/// methodology (§5).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Warm-up cycles excluded from measurement.
+    pub warmup: u64,
+    /// Measured cycles after warm-up (the paper uses 100,000).
+    pub measure: u64,
+    /// Drain allowance after the measurement window, letting in-flight
+    /// measured packets reach their destinations.
+    pub drain: u64,
+    /// Flits per data packet (paper: 72-byte data packets are 5 flits on
+    /// 128-bit routerless links, 3 flits on 256-bit mesh links).
+    pub data_flits: usize,
+    /// Flits per control packet (1 in both fabrics).
+    pub control_flits: usize,
+    /// Fraction of generated packets that are control packets.
+    pub control_fraction: f64,
+}
+
+impl SimConfig {
+    /// The paper's measurement setup for routerless fabrics: 5-flit data
+    /// packets on 128-bit links.
+    pub fn routerless() -> Self {
+        SimConfig {
+            data_flits: 5,
+            ..SimConfig::default()
+        }
+    }
+
+    /// The paper's measurement setup for mesh fabrics: 3-flit data packets
+    /// on 256-bit links.
+    pub fn mesh() -> Self {
+        SimConfig {
+            data_flits: 3,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Average flits per packet under the configured control/data mix.
+    pub fn mean_packet_flits(&self) -> f64 {
+        self.control_fraction * self.control_flits as f64
+            + (1.0 - self.control_fraction) * self.data_flits as f64
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            warmup: 1_000,
+            measure: 10_000,
+            drain: 2_000,
+            data_flits: 5,
+            control_flits: 1,
+            control_fraction: 0.5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_packet_sizes() {
+        assert_eq!(SimConfig::routerless().data_flits, 5);
+        assert_eq!(SimConfig::mesh().data_flits, 3);
+        assert_eq!(SimConfig::mesh().control_flits, 1);
+    }
+
+    #[test]
+    fn mean_packet_flits_mixes() {
+        let cfg = SimConfig {
+            control_fraction: 0.5,
+            control_flits: 1,
+            data_flits: 5,
+            ..SimConfig::default()
+        };
+        assert!((cfg.mean_packet_flits() - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,81 @@
+use rlnoc_topology::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Packet class: the paper distinguishes 8-byte control packets (1 flit)
+/// from 72-byte data packets (3–5 flits depending on link width).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PacketKind {
+    /// Short request/coherence packet.
+    Control,
+    /// Cache-line-sized payload packet.
+    Data,
+}
+
+/// A packet in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Unique id, assigned at generation.
+    pub id: u64,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Packet class.
+    pub kind: PacketKind,
+    /// Length in flits.
+    pub flits: usize,
+    /// Cycle the packet was created (entered the source queue).
+    pub created: u64,
+    /// Whether the packet was created inside the measurement window.
+    pub measured: bool,
+}
+
+/// One flit of a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Flit {
+    /// Owning packet.
+    pub packet: Packet,
+    /// Index within the packet (`0` = head).
+    pub index: usize,
+}
+
+impl Flit {
+    /// Whether this is the head flit.
+    pub fn is_head(&self) -> bool {
+        self.index == 0
+    }
+
+    /// Whether this is the tail flit.
+    pub fn is_tail(&self) -> bool {
+        self.index + 1 == self.packet.flits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packet(flits: usize) -> Packet {
+        Packet {
+            id: 1,
+            src: 0,
+            dst: 3,
+            kind: PacketKind::Data,
+            flits,
+            created: 0,
+            measured: true,
+        }
+    }
+
+    #[test]
+    fn head_tail_flags() {
+        let p = packet(3);
+        assert!(Flit { packet: p, index: 0 }.is_head());
+        assert!(!Flit { packet: p, index: 0 }.is_tail());
+        assert!(Flit { packet: p, index: 2 }.is_tail());
+        // Single-flit packets are both head and tail.
+        let c = packet(1);
+        let f = Flit { packet: c, index: 0 };
+        assert!(f.is_head() && f.is_tail());
+    }
+}

@@ -1,0 +1,465 @@
+//! The routerless fabric: one dedicated ring of wires per loop,
+//! single-cycle hops, source routing, priority to passing traffic.
+
+use crate::packet::{Flit, Packet};
+use crate::runner::{Delivery, Network};
+use rlnoc_topology::{Grid, NodeId, RoutingTable, Topology};
+use std::collections::{HashMap, VecDeque};
+
+/// One loop's wiring: node order and the flit occupying each slot.
+/// `slots[i]` holds the flit currently *at* node `nodes[i]`; each cycle
+/// every flit advances one position around the ring.
+#[derive(Debug, Clone)]
+struct Lane {
+    nodes: Vec<NodeId>,
+    /// Position of each node on this lane (`None` if off-lane), indexed by
+    /// node id.
+    pos: Vec<Option<usize>>,
+    slots: Vec<Option<Flit>>,
+}
+
+/// An injection in progress: flits of `packet` still being placed onto
+/// `lane`.
+#[derive(Debug, Clone, Copy)]
+struct ActiveInjection {
+    packet: Packet,
+    lane: usize,
+    next_flit: usize,
+    hops: u64,
+}
+
+/// Cycle-accurate simulator for a routerless NoC [`Topology`].
+///
+/// Model (paper §2.1/§5): every loop is an independent ring of links; a
+/// flit advances one hop per cycle and is never blocked (passing traffic
+/// has priority over injection, so rings never back-pressure); each node
+/// injects at most one flit per cycle and only into an empty slot of the
+/// loop its routing table selects; ejection happens concurrently on every
+/// loop passing a node. Packets destined for unreachable nodes are counted
+/// in [`RouterlessSim::unroutable`] and dropped.
+#[derive(Debug, Clone)]
+pub struct RouterlessSim {
+    grid: Grid,
+    routing: RoutingTable,
+    lanes: Vec<Lane>,
+    queues: Vec<VecDeque<Packet>>,
+    active: Vec<Option<ActiveInjection>>,
+    /// Flits received so far per in-flight packet id, with the hop count.
+    assembly: HashMap<u64, (usize, u64)>,
+    deliveries: Vec<Delivery>,
+    in_flight_packets: usize,
+    unroutable: u64,
+    /// Max flits a node may eject per cycle across all loops; `None`
+    /// models REC's per-loop ejection links (unlimited).
+    ejection_limit: Option<usize>,
+    /// Flits that circled past their destination because the ejection
+    /// ports were busy (only possible with an ejection limit).
+    deflections: u64,
+}
+
+impl RouterlessSim {
+    /// Builds a simulator over `topo` (which should be fully connected for
+    /// meaningful workloads).
+    pub fn new(topo: &Topology) -> Self {
+        RouterlessSim::with_routing(topo, RoutingTable::build(topo))
+    }
+
+    /// Builds a simulator with a custom routing table (e.g. a
+    /// [`rlnoc_topology::RoutingPolicy::Balanced`] table), for routing
+    /// ablations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table was built for a different node count.
+    pub fn with_routing(topo: &Topology, routing: RoutingTable) -> Self {
+        let grid = *topo.grid();
+        assert_eq!(routing.num_nodes(), grid.len(), "routing table size mismatch");
+        let lanes = topo
+            .loops()
+            .iter()
+            .map(|l| {
+                let nodes = l.perimeter_nodes(&grid);
+                let mut pos = vec![None; grid.len()];
+                for (i, &n) in nodes.iter().enumerate() {
+                    pos[n] = Some(i);
+                }
+                let len = nodes.len();
+                Lane {
+                    nodes,
+                    pos,
+                    slots: vec![None; len],
+                }
+            })
+            .collect();
+        RouterlessSim {
+            grid,
+            routing,
+            lanes,
+            queues: vec![VecDeque::new(); grid.len()],
+            active: vec![None; grid.len()],
+            assembly: HashMap::new(),
+            deliveries: Vec::new(),
+            in_flight_packets: 0,
+            unroutable: 0,
+            ejection_limit: None,
+            deflections: 0,
+        }
+    }
+
+    /// Caps how many flits each node may eject per cycle across all its
+    /// loops. The paper's REC interface provides one ejection link per
+    /// loop (effectively unlimited, the default); a shared-port interface
+    /// (limit 1-2) deflects arriving flits around their loop when the port
+    /// is busy — this models that cheaper interface for ablation studies.
+    pub fn set_ejection_limit(&mut self, limit: Option<usize>) {
+        self.ejection_limit = limit;
+    }
+
+    /// Packets dropped because no loop reaches their destination.
+    pub fn unroutable(&self) -> u64 {
+        self.unroutable
+    }
+
+    /// Flits that circled past their destination because of the ejection
+    /// limit.
+    pub fn deflections(&self) -> u64 {
+        self.deflections
+    }
+}
+
+impl Network for RouterlessSim {
+    fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    fn offer(&mut self, packet: Packet) {
+        self.queues[packet.src].push_back(packet);
+        self.in_flight_packets += 1;
+    }
+
+    fn tick(&mut self, cycle: u64) {
+        // Phase 1: advance every lane one hop, ejecting flits that arrive
+        // at their destination (subject to the per-node ejection limit).
+        let mut ejected_at = vec![0usize; self.grid.len()];
+        for lane in &mut self.lanes {
+            let len = lane.slots.len();
+            let mut next: Vec<Option<Flit>> = vec![None; len];
+            for i in 0..len {
+                let Some(flit) = lane.slots[i].take() else {
+                    continue;
+                };
+                let j = (i + 1) % len;
+                let node = lane.nodes[j];
+                if flit.packet.dst == node {
+                    if self
+                        .ejection_limit
+                        .is_some_and(|limit| ejected_at[node] >= limit)
+                    {
+                        // Ejection port busy: deflect around the loop.
+                        self.deflections += 1;
+                        next[j] = Some(flit);
+                        continue;
+                    }
+                    ejected_at[node] += 1;
+                    // Eject: deliver into the assembly buffer.
+                    let entry = self
+                        .assembly
+                        .entry(flit.packet.id)
+                        .or_insert((0, 0));
+                    entry.0 += 1;
+                    if entry.0 == flit.packet.flits {
+                        let (_, hops) = self.assembly.remove(&flit.packet.id).expect("present");
+                        self.deliveries.push(Delivery {
+                            packet: flit.packet,
+                            delivered: cycle,
+                            hops,
+                        });
+                        self.in_flight_packets -= 1;
+                    }
+                } else {
+                    next[j] = Some(flit);
+                }
+            }
+            lane.slots = next;
+        }
+
+        // Phase 2: injection — one flit per node, only into an empty slot,
+        // so passing traffic always has priority.
+        for node in 0..self.grid.len() {
+            if self.active[node].is_none() {
+                // Start the next queued packet, if routable.
+                while let Some(p) = self.queues[node].pop_front() {
+                    match self.routing.route(p.src, p.dst) {
+                        Some(route) => {
+                            self.active[node] = Some(ActiveInjection {
+                                packet: p,
+                                lane: route.loop_index,
+                                next_flit: 0,
+                                hops: route.hops as u64,
+                            });
+                            break;
+                        }
+                        None => {
+                            self.unroutable += 1;
+                            self.in_flight_packets -= 1;
+                        }
+                    }
+                }
+            }
+            let Some(mut act) = self.active[node] else {
+                continue;
+            };
+            let lane = &mut self.lanes[act.lane];
+            let pos = lane.pos[node].expect("routing table only picks loops through the source");
+            if lane.slots[pos].is_none() {
+                lane.slots[pos] = Some(Flit {
+                    packet: act.packet,
+                    index: act.next_flit,
+                });
+                // Record hops once per packet in the assembly buffer.
+                self.assembly
+                    .entry(act.packet.id)
+                    .or_insert((0, act.hops))
+                    .1 = act.hops;
+                act.next_flit += 1;
+                self.active[node] = if act.next_flit == act.packet.flits {
+                    None
+                } else {
+                    Some(act)
+                };
+            }
+        }
+    }
+
+    fn take_deliveries(&mut self) -> Vec<Delivery> {
+        std::mem::take(&mut self.deliveries)
+    }
+
+    fn in_flight(&self) -> usize {
+        self.in_flight_packets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::packet::PacketKind;
+    use crate::runner::run_synthetic;
+    use crate::traffic::Pattern;
+    use rlnoc_baselines::rec_topology;
+    use rlnoc_topology::{Direction, RectLoop};
+
+    fn single_packet(src: NodeId, dst: NodeId, flits: usize) -> Packet {
+        Packet {
+            id: 0,
+            src,
+            dst,
+            kind: PacketKind::Data,
+            flits,
+            created: 0,
+            measured: true,
+        }
+    }
+
+    fn ring_2x2() -> Topology {
+        Topology::from_loops(
+            Grid::square(2).unwrap(),
+            [RectLoop::new(0, 0, 1, 1, Direction::Clockwise).unwrap()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn zero_load_latency_is_hops_plus_serialization() {
+        // 2x2 CW ring: node 0 → node 3 is 2 hops. A 1-flit packet injected
+        // at cycle 0 must arrive at cycle 2; a 3-flit packet at cycle 4.
+        for (flits, expect) in [(1usize, 2u64), (3, 4)] {
+            let mut sim = RouterlessSim::new(&ring_2x2());
+            sim.offer(single_packet(0, 3, flits));
+            let mut delivered = None;
+            for cycle in 0..20 {
+                sim.tick(cycle);
+                if let Some(d) = sim.take_deliveries().pop() {
+                    delivered = Some(d);
+                    break;
+                }
+            }
+            let d = delivered.expect("packet must arrive");
+            assert_eq!(d.delivered, expect, "{flits}-flit packet");
+            assert_eq!(d.hops, 2);
+            assert_eq!(sim.in_flight(), 0);
+        }
+    }
+
+    #[test]
+    fn passing_traffic_has_priority_over_injection() {
+        // Saturate the ring from node 0, then ask node 1 to inject: node 1
+        // must wait for a gap.
+        let topo = ring_2x2();
+        let mut sim = RouterlessSim::new(&topo);
+        // Node 0 → node 2 (3 hops CW), long packet occupies slots.
+        sim.offer(Packet { id: 9, ..single_packet(0, 2, 4) });
+        sim.tick(0); // head flit placed at node 0's slot
+        sim.tick(1);
+        // Now node 1 wants to inject; the slot at node 1 is occupied by the
+        // passing flit each cycle until the first packet fully passes.
+        sim.offer(Packet { id: 10, ..single_packet(1, 0, 1) });
+        let mut arrivals = Vec::new();
+        for cycle in 2..30 {
+            sim.tick(cycle);
+            arrivals.extend(sim.take_deliveries());
+        }
+        assert_eq!(arrivals.len(), 2);
+        let first = arrivals.iter().find(|d| d.packet.id == 9).unwrap();
+        let second = arrivals.iter().find(|d| d.packet.id == 10).unwrap();
+        assert!(second.delivered > first.delivered - 4, "injection waited");
+    }
+
+    #[test]
+    fn unroutable_packets_are_counted() {
+        // One loop on a 4x4 leaves inner nodes unreachable.
+        let topo = Topology::from_loops(
+            Grid::square(4).unwrap(),
+            [RectLoop::new(0, 0, 3, 3, Direction::Clockwise).unwrap()],
+        )
+        .unwrap();
+        let mut sim = RouterlessSim::new(&topo);
+        let inner = topo.grid().node_at(1, 1);
+        sim.offer(single_packet(0, inner, 1));
+        sim.tick(0);
+        assert_eq!(sim.unroutable(), 1);
+        assert_eq!(sim.in_flight(), 0);
+    }
+
+    #[test]
+    fn conservation_at_low_load() {
+        let topo = rec_topology(Grid::square(4).unwrap()).unwrap();
+        let mut sim = RouterlessSim::new(&topo);
+        let cfg = SimConfig {
+            warmup: 100,
+            measure: 1_000,
+            drain: 1_000,
+            ..SimConfig::routerless()
+        };
+        let m = run_synthetic(&mut sim, Pattern::UniformRandom, 0.02, &cfg, 3);
+        assert!(m.packets > 0);
+        assert!(
+            m.delivery_ratio() > 0.99,
+            "low load must deliver ~everything: {}",
+            m.delivery_ratio()
+        );
+        assert_eq!(sim.in_flight(), 0, "network must drain");
+        assert_eq!(sim.unroutable(), 0);
+    }
+
+    #[test]
+    fn latency_rises_with_load() {
+        let topo = rec_topology(Grid::square(4).unwrap()).unwrap();
+        let cfg = SimConfig {
+            warmup: 200,
+            measure: 2_000,
+            drain: 2_000,
+            ..SimConfig::routerless()
+        };
+        let low = run_synthetic(
+            &mut RouterlessSim::new(&topo),
+            Pattern::UniformRandom,
+            0.02,
+            &cfg,
+            1,
+        );
+        let high = run_synthetic(
+            &mut RouterlessSim::new(&topo),
+            Pattern::UniformRandom,
+            0.25,
+            &cfg,
+            1,
+        );
+        assert!(
+            high.avg_packet_latency() > low.avg_packet_latency(),
+            "latency must rise with load: {} vs {}",
+            low.avg_packet_latency(),
+            high.avg_packet_latency()
+        );
+    }
+
+    #[test]
+    fn ejection_limit_deflects_but_still_delivers() {
+        // Two single-flit packets from different loops arrive at the same
+        // node on the same cycle; with limit 1 one of them must circle.
+        let g = Grid::square(2).unwrap();
+        let topo = Topology::from_loops(
+            g,
+            [
+                RectLoop::new(0, 0, 1, 1, Direction::Clockwise).unwrap(),
+                RectLoop::new(0, 0, 1, 1, Direction::Counterclockwise).unwrap(),
+            ],
+        )
+        .unwrap();
+        let mut sim = RouterlessSim::new(&topo);
+        sim.set_ejection_limit(Some(1));
+        // CW: node 1 → node 0 is 3 hops. CCW: node 2 → node 0 is ... CCW
+        // order 0,2,3,1: node 2 → 0 is 3 hops too. Wait — pick pairs that
+        // arrive together: src 1 via CW (3 hops), src 2 via CCW (3 hops).
+        sim.offer(Packet { id: 1, ..single_packet(1, 0, 1) });
+        sim.offer(Packet { id: 2, ..single_packet(2, 0, 1) });
+        let mut delivered = Vec::new();
+        for cycle in 0..40 {
+            sim.tick(cycle);
+            delivered.extend(sim.take_deliveries());
+            if delivered.len() == 2 {
+                break;
+            }
+        }
+        assert_eq!(delivered.len(), 2, "deflection must not drop packets");
+        if sim.deflections() > 0 {
+            // The deflected flit circled a full 4-node loop extra.
+            let times: Vec<u64> = delivered.iter().map(|d| d.delivered).collect();
+            assert_ne!(times[0], times[1]);
+        }
+        // Unlimited ejection never deflects.
+        let mut free = RouterlessSim::new(&topo);
+        free.offer(Packet { id: 1, ..single_packet(1, 0, 1) });
+        free.offer(Packet { id: 2, ..single_packet(2, 0, 1) });
+        for cycle in 0..40 {
+            free.tick(cycle);
+            free.take_deliveries();
+        }
+        assert_eq!(free.deflections(), 0);
+    }
+
+    #[test]
+    fn balanced_routing_table_works_in_sim() {
+        use rlnoc_topology::RoutingPolicy;
+        let topo = rec_topology(Grid::square(4).unwrap()).unwrap();
+        let table = RoutingTable::build_with(&topo, RoutingPolicy::Balanced { slack: 0 });
+        let mut sim = RouterlessSim::with_routing(&topo, table);
+        let cfg = SimConfig {
+            warmup: 100,
+            measure: 1_000,
+            drain: 1_000,
+            ..SimConfig::routerless()
+        };
+        let m = run_synthetic(&mut sim, Pattern::UniformRandom, 0.05, &cfg, 5);
+        assert!(m.delivery_ratio() > 0.99);
+        assert_eq!(sim.in_flight(), 0);
+    }
+
+    #[test]
+    fn hop_counts_match_routing_table() {
+        let topo = rec_topology(Grid::square(4).unwrap()).unwrap();
+        let table = RoutingTable::build(&topo);
+        let mut sim = RouterlessSim::new(&topo);
+        let (src, dst) = (0, 15);
+        sim.offer(single_packet(src, dst, 1));
+        for cycle in 0..50 {
+            sim.tick(cycle);
+            if let Some(d) = sim.take_deliveries().pop() {
+                assert_eq!(d.hops, table.route(src, dst).unwrap().hops as u64);
+                return;
+            }
+        }
+        panic!("packet never arrived");
+    }
+}

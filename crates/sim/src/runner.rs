@@ -1,0 +1,103 @@
+//! The fabric-agnostic simulation driver.
+
+use crate::config::SimConfig;
+use crate::packet::Packet;
+use crate::stats::Metrics;
+use crate::traffic::{Pattern, TrafficGen};
+use rlnoc_topology::Grid;
+
+/// A delivered packet with its delivery cycle and traversed hop count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// The packet that completed.
+    pub packet: Packet,
+    /// Cycle at which the tail flit reached the destination.
+    pub delivered: u64,
+    /// Hops traversed by the packet.
+    pub hops: u64,
+}
+
+/// A simulated NoC fabric that the common driver can run traffic through.
+pub trait Network {
+    /// The grid the fabric serves.
+    fn grid(&self) -> &Grid;
+
+    /// Enqueues a freshly generated packet at its source node.
+    fn offer(&mut self, packet: Packet);
+
+    /// Advances the fabric by one cycle.
+    fn tick(&mut self, cycle: u64);
+
+    /// Removes and returns packets delivered since the last call.
+    fn take_deliveries(&mut self) -> Vec<Delivery>;
+
+    /// Packets currently queued or in flight (for drain accounting).
+    fn in_flight(&self) -> usize;
+}
+
+/// A source of packets driving a simulation — synthetic patterns
+/// ([`TrafficGen`]) or application models (the `rlnoc-workloads` crate).
+pub trait PacketSource {
+    /// This cycle's new packets (marked `measured` inside the measurement
+    /// window).
+    fn generate(&mut self, cycle: u64, cfg: &SimConfig, measured: bool) -> Vec<Packet>;
+}
+
+impl PacketSource for TrafficGen {
+    fn generate(&mut self, cycle: u64, cfg: &SimConfig, measured: bool) -> Vec<Packet> {
+        TrafficGen::generate(self, cycle, cfg, measured)
+    }
+}
+
+/// Runs a traffic experiment from any [`PacketSource`]: warm-up,
+/// measurement, and drain phases, returning aggregated [`Metrics`].
+pub fn run_with_source<N: Network>(
+    net: &mut N,
+    source: &mut impl PacketSource,
+    cfg: &SimConfig,
+) -> Metrics {
+    let grid = *net.grid();
+    let mut metrics = Metrics {
+        nodes: grid.len(),
+        cycles: cfg.measure,
+        ..Metrics::default()
+    };
+    let total = cfg.warmup + cfg.measure + cfg.drain;
+    for cycle in 0..total {
+        // Generation stops after the measurement window so the drain phase
+        // can empty the network.
+        if cycle < cfg.warmup + cfg.measure {
+            let measured = cycle >= cfg.warmup;
+            for p in source.generate(cycle, cfg, measured) {
+                if measured {
+                    metrics.record_offered(p.flits);
+                }
+                net.offer(p);
+            }
+        }
+        net.tick(cycle);
+        for d in net.take_deliveries() {
+            if d.packet.measured {
+                metrics.record_delivery(
+                    d.delivered - d.packet.created,
+                    d.hops,
+                    d.packet.flits,
+                );
+            }
+        }
+    }
+    metrics
+}
+
+/// Runs a synthetic-traffic experiment at `rate` flits/node/cycle (the
+/// paper's x-axes), returning aggregated [`Metrics`].
+pub fn run_synthetic<N: Network>(
+    net: &mut N,
+    pattern: Pattern,
+    rate: f64,
+    cfg: &SimConfig,
+    seed: u64,
+) -> Metrics {
+    let mut gen = TrafficGen::new(*net.grid(), pattern, rate, seed);
+    run_with_source(net, &mut gen, cfg)
+}

@@ -1,0 +1,130 @@
+//! Measurement collection: latency, hop count, and throughput.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregated measurements from one simulation run.
+///
+/// Only packets created inside the measurement window contribute to
+/// latency/hop statistics; accepted throughput counts measured flits
+/// delivered divided by (nodes × measured cycles).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Number of measured packets delivered.
+    pub packets: u64,
+    /// Sum of packet latencies (creation → tail delivery), cycles.
+    pub latency_sum: u64,
+    /// Sum of per-packet hop counts.
+    pub hop_sum: u64,
+    /// Measured flits delivered.
+    pub flits_delivered: u64,
+    /// Sum of flit-hops (per packet: hops × flits) — the activity measure
+    /// driving dynamic power.
+    pub flit_hop_sum: u64,
+    /// Total packets generated in the measurement window.
+    pub packets_offered: u64,
+    /// Flits offered in the measurement window.
+    pub flits_offered: u64,
+    /// Nodes in the network.
+    pub nodes: usize,
+    /// Measured cycles.
+    pub cycles: u64,
+    /// Maximum observed packet latency.
+    pub max_latency: u64,
+}
+
+impl Metrics {
+    /// Records a delivered measured packet.
+    pub fn record_delivery(&mut self, latency: u64, hops: u64, flits: usize) {
+        self.packets += 1;
+        self.latency_sum += latency;
+        self.hop_sum += hops;
+        self.flits_delivered += flits as u64;
+        self.flit_hop_sum += hops * flits as u64;
+        self.max_latency = self.max_latency.max(latency);
+    }
+
+    /// Records a generated measured packet.
+    pub fn record_offered(&mut self, flits: usize) {
+        self.packets_offered += 1;
+        self.flits_offered += flits as u64;
+    }
+
+    /// Average packet latency in cycles (0 when nothing was delivered).
+    pub fn avg_packet_latency(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.latency_sum as f64 / self.packets as f64
+        }
+    }
+
+    /// Average hop count per delivered packet.
+    pub fn avg_hops(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.hop_sum as f64 / self.packets as f64
+        }
+    }
+
+    /// Accepted throughput in flits/node/cycle.
+    pub fn accepted_throughput(&self) -> f64 {
+        if self.nodes == 0 || self.cycles == 0 {
+            0.0
+        } else {
+            self.flits_delivered as f64 / (self.nodes as f64 * self.cycles as f64)
+        }
+    }
+
+    /// Average flit-hops per node per cycle — the link/buffer activity
+    /// factor that drives dynamic power.
+    pub fn flit_hops_per_node_cycle(&self) -> f64 {
+        if self.nodes == 0 || self.cycles == 0 {
+            0.0
+        } else {
+            self.flit_hop_sum as f64 / (self.nodes as f64 * self.cycles as f64)
+        }
+    }
+
+    /// Fraction of offered measured packets that were delivered (≤ 1; low
+    /// values indicate saturation).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.packets_offered == 0 {
+            1.0
+        } else {
+            self.packets as f64 / self.packets_offered as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages() {
+        let mut m = Metrics {
+            nodes: 4,
+            cycles: 100,
+            ..Metrics::default()
+        };
+        m.record_offered(3);
+        m.record_offered(1);
+        m.record_delivery(10, 4, 3);
+        m.record_delivery(20, 2, 1);
+        assert_eq!(m.avg_packet_latency(), 15.0);
+        assert_eq!(m.avg_hops(), 3.0);
+        assert_eq!(m.accepted_throughput(), 4.0 / 400.0);
+        assert_eq!(m.delivery_ratio(), 1.0);
+        assert_eq!(m.max_latency, 20);
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = Metrics::default();
+        assert_eq!(m.avg_packet_latency(), 0.0);
+        assert_eq!(m.avg_hops(), 0.0);
+        assert_eq!(m.accepted_throughput(), 0.0);
+        assert_eq!(m.delivery_ratio(), 1.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Injection-rate sweeps and saturation detection (paper Figures 10 & 16).
+
+use crate::config::SimConfig;
+use crate::runner::{run_synthetic, Network};
+use crate::stats::Metrics;
+use crate::traffic::Pattern;
+use serde::{Deserialize, Serialize};
+
+/// One point of a latency-vs-injection curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Offered load, flits/node/cycle.
+    pub rate: f64,
+    /// Average packet latency, cycles.
+    pub latency: f64,
+    /// Accepted throughput, flits/node/cycle.
+    pub accepted: f64,
+    /// Delivered / offered packets.
+    pub delivery_ratio: f64,
+}
+
+/// A full sweep with the detected saturation point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// Measured points, in increasing rate order.
+    pub points: Vec<SweepPoint>,
+    /// The saturation throughput: the highest accepted rate before the
+    /// saturation criterion fired (flits/node/cycle).
+    pub saturation: f64,
+    /// Zero-load (lowest-rate) average latency.
+    pub zero_load_latency: f64,
+}
+
+/// Sweeps injection rate from `start` in steps of `step` (the paper uses
+/// 0.005 for both), running a fresh network from `factory` at each rate,
+/// until the network saturates or `max_rate` is reached.
+///
+/// Saturation criterion: average latency exceeding `latency_factor` × the
+/// zero-load latency, or the delivery ratio dropping below 0.85 — the
+/// conventional "network saturates" cutoff for latency-throughput curves.
+pub fn latency_sweep<N: Network>(
+    mut factory: impl FnMut() -> N,
+    pattern: Pattern,
+    cfg: &SimConfig,
+    start: f64,
+    step: f64,
+    max_rate: f64,
+    latency_factor: f64,
+    seed: u64,
+) -> SweepResult {
+    assert!(step > 0.0, "step must be positive");
+    let mut points = Vec::new();
+    let mut zero_load = None;
+    let mut saturation = 0.0f64;
+    let mut rate = start;
+    while rate <= max_rate + 1e-12 {
+        let mut net = factory();
+        let m: Metrics = run_synthetic(&mut net, pattern, rate, cfg, seed);
+        let point = SweepPoint {
+            rate,
+            latency: m.avg_packet_latency(),
+            accepted: m.accepted_throughput(),
+            delivery_ratio: m.delivery_ratio(),
+        };
+        let zl = *zero_load.get_or_insert(point.latency.max(1.0));
+        let saturated = point.latency > latency_factor * zl || point.delivery_ratio < 0.85;
+        points.push(point.clone());
+        if saturated {
+            break;
+        }
+        saturation = point.accepted;
+        rate += step;
+    }
+    SweepResult {
+        zero_load_latency: zero_load.unwrap_or(0.0),
+        points,
+        saturation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MeshSim, RouterlessSim};
+    use rlnoc_baselines::rec_topology;
+    use rlnoc_topology::Grid;
+
+    fn quick_cfg(data_flits: usize) -> SimConfig {
+        SimConfig {
+            warmup: 200,
+            measure: 1_500,
+            drain: 1_000,
+            data_flits,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn sweep_terminates_and_orders_points() {
+        let g = Grid::square(4).unwrap();
+        let result = latency_sweep(
+            || MeshSim::mesh2(g),
+            Pattern::UniformRandom,
+            &quick_cfg(3),
+            0.02,
+            0.04,
+            0.5,
+            4.0,
+            1,
+        );
+        assert!(!result.points.is_empty());
+        assert!(result.zero_load_latency > 0.0);
+        for w in result.points.windows(2) {
+            assert!(w[1].rate > w[0].rate);
+        }
+    }
+
+    #[test]
+    fn routerless_rec_beats_mesh2_at_8x8() {
+        // The headline qualitative result (paper Figures 10/16): at sizes
+        // where the mesh bisection binds, routerless saturates later and
+        // starts lower. (At 4x4 a mesh's per-node bisection is so high the
+        // two fabrics tie on throughput; the paper's gap appears at 8x8+.)
+        let g = Grid::square(8).unwrap();
+        let topo = rec_topology(g).unwrap();
+        let mesh = latency_sweep(
+            || MeshSim::mesh2(g),
+            Pattern::UniformRandom,
+            &quick_cfg(3),
+            0.05,
+            0.05,
+            0.9,
+            4.0,
+            7,
+        );
+        let rless = latency_sweep(
+            || RouterlessSim::new(&topo),
+            Pattern::UniformRandom,
+            &quick_cfg(5),
+            0.05,
+            0.05,
+            0.9,
+            4.0,
+            7,
+        );
+        assert!(
+            rless.saturation > mesh.saturation,
+            "routerless {} vs mesh {}",
+            rless.saturation,
+            mesh.saturation
+        );
+        assert!(
+            rless.zero_load_latency < mesh.zero_load_latency,
+            "zero-load: routerless {} vs mesh {}",
+            rless.zero_load_latency,
+            mesh.zero_load_latency
+        );
+    }
+}

@@ -1,0 +1,257 @@
+//! Synthetic traffic patterns (paper §5): destination maps and a Bernoulli
+//! packet generator at a configurable flit injection rate.
+
+use crate::config::SimConfig;
+use crate::packet::{Packet, PacketKind};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rlnoc_topology::{Grid, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// The six synthetic patterns evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Pattern {
+    /// Every destination equally likely (excluding the source).
+    UniformRandom,
+    /// `(x, y) → (x + ⌈W/2⌉ mod W, y + ⌈H/2⌉ mod H)`.
+    Tornado,
+    /// Bit complement on the node index within a power-of-two-like space:
+    /// `(x, y) → (W−1−x, H−1−y)`.
+    BitComplement,
+    /// Rotate the node-index bits right by one.
+    BitRotation,
+    /// Shuffle: rotate the node-index bits left by one.
+    Shuffle,
+    /// `(x, y) → (y, x)` (square grids; identity destinations re-draw
+    /// uniformly).
+    Transpose,
+}
+
+impl Pattern {
+    /// All six patterns, in the paper's order.
+    pub const ALL: [Pattern; 6] = [
+        Pattern::UniformRandom,
+        Pattern::Tornado,
+        Pattern::BitComplement,
+        Pattern::BitRotation,
+        Pattern::Shuffle,
+        Pattern::Transpose,
+    ];
+
+    /// The destination for a packet sourced at `src`, drawing from `rng`
+    /// when the pattern is stochastic. Deterministic patterns that would
+    /// map a node to itself fall back to a uniform draw so every node
+    /// participates.
+    pub fn dest(self, grid: &Grid, src: NodeId, rng: &mut StdRng) -> NodeId {
+        let n = grid.len();
+        let (w, h) = (grid.width(), grid.height());
+        let (x, y) = grid.coord_of(src);
+        let dst = match self {
+            Pattern::UniformRandom => {
+                let mut d = rng.gen_range(0..n);
+                while d == src {
+                    d = rng.gen_range(0..n);
+                }
+                return d;
+            }
+            Pattern::Tornado => grid.node_at((x + w.div_ceil(2)) % w, (y + h.div_ceil(2)) % h),
+            Pattern::BitComplement => grid.node_at(w - 1 - x, h - 1 - y),
+            Pattern::BitRotation => rotate_right(src, n),
+            Pattern::Shuffle => rotate_left(src, n),
+            Pattern::Transpose => {
+                if grid.is_square() {
+                    grid.node_at(y, x)
+                } else {
+                    src // fall through to the redraw below
+                }
+            }
+        };
+        if dst == src {
+            let mut d = rng.gen_range(0..n);
+            while d == src {
+                d = rng.gen_range(0..n);
+            }
+            d
+        } else {
+            dst
+        }
+    }
+}
+
+/// Number of bits needed to index `n` nodes (`⌈log2 n⌉`).
+fn index_bits(n: usize) -> u32 {
+    usize::BITS - (n - 1).leading_zeros()
+}
+
+fn rotate_right(src: NodeId, n: usize) -> NodeId {
+    let b = index_bits(n);
+    let low = src & 1;
+    let rotated = (src >> 1) | (low << (b - 1));
+    rotated % n
+}
+
+fn rotate_left(src: NodeId, n: usize) -> NodeId {
+    let b = index_bits(n);
+    let high = (src >> (b - 1)) & 1;
+    let rotated = ((src << 1) | high) & ((1 << b) - 1);
+    rotated % n
+}
+
+/// Bernoulli packet generator: each cycle each node independently starts a
+/// packet with probability `rate / mean_packet_flits`, so the offered load
+/// in *flits*/node/cycle matches the paper's x-axes.
+#[derive(Debug)]
+pub struct TrafficGen {
+    grid: Grid,
+    pattern: Pattern,
+    /// Offered load in flits/node/cycle.
+    rate: f64,
+    rng: StdRng,
+    next_id: u64,
+}
+
+impl TrafficGen {
+    /// Creates a generator for `grid` at `rate` flits/node/cycle.
+    pub fn new(grid: Grid, pattern: Pattern, rate: f64, seed: u64) -> Self {
+        TrafficGen {
+            grid,
+            pattern,
+            rate,
+            rng: StdRng::seed_from_u64(seed),
+            next_id: 0,
+        }
+    }
+
+    /// The offered load in flits/node/cycle.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Generates this cycle's new packets (at most one per node).
+    /// `measured` marks packets created inside the measurement window.
+    pub fn generate(&mut self, cycle: u64, cfg: &SimConfig, measured: bool) -> Vec<Packet> {
+        let p_packet = (self.rate / cfg.mean_packet_flits()).min(1.0);
+        let mut out = Vec::new();
+        for src in self.grid.nodes() {
+            if !self.rng.gen_bool(p_packet) {
+                continue;
+            }
+            let dst = self.pattern.dest(&self.grid, src, &mut self.rng);
+            let kind = if self.rng.gen_bool(cfg.control_fraction) {
+                PacketKind::Control
+            } else {
+                PacketKind::Data
+            };
+            let flits = match kind {
+                PacketKind::Control => cfg.control_flits,
+                PacketKind::Data => cfg.data_flits,
+            };
+            out.push(Packet {
+                id: self.next_id,
+                src,
+                dst,
+                kind,
+                flits,
+                created: cycle,
+                measured,
+            });
+            self.next_id += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid8() -> Grid {
+        Grid::square(8).unwrap()
+    }
+
+    #[test]
+    fn destinations_never_self() {
+        let g = grid8();
+        let mut rng = StdRng::seed_from_u64(0);
+        for pattern in Pattern::ALL {
+            for src in g.nodes() {
+                for _ in 0..4 {
+                    let d = pattern.dest(&g, src, &mut rng);
+                    assert_ne!(d, src, "{pattern:?} mapped {src} to itself");
+                    assert!(d < g.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_swaps_coordinates() {
+        let g = grid8();
+        let mut rng = StdRng::seed_from_u64(0);
+        let src = g.node_at(2, 5);
+        assert_eq!(Pattern::Transpose.dest(&g, src, &mut rng), g.node_at(5, 2));
+    }
+
+    #[test]
+    fn bit_complement_mirrors() {
+        let g = grid8();
+        let mut rng = StdRng::seed_from_u64(0);
+        let src = g.node_at(1, 2);
+        assert_eq!(
+            Pattern::BitComplement.dest(&g, src, &mut rng),
+            g.node_at(6, 5)
+        );
+    }
+
+    #[test]
+    fn tornado_shifts_half_way() {
+        let g = grid8();
+        let mut rng = StdRng::seed_from_u64(0);
+        let src = g.node_at(0, 0);
+        assert_eq!(Pattern::Tornado.dest(&g, src, &mut rng), g.node_at(4, 4));
+    }
+
+    #[test]
+    fn rotation_patterns_permute() {
+        // On a 64-node grid, bit rotation must be a permutation of 0..64.
+        let g = grid8();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut seen = vec![false; g.len()];
+        for src in g.nodes() {
+            let d = Pattern::BitRotation.dest(&g, src, &mut rng);
+            seen[d] = true;
+        }
+        let covered = seen.iter().filter(|&&s| s).count();
+        assert!(covered > g.len() / 2, "rotation covers most nodes: {covered}");
+    }
+
+    #[test]
+    fn generator_rate_approximates_offered_load() {
+        let g = grid8();
+        let cfg = SimConfig::default();
+        let mut gen = TrafficGen::new(g, Pattern::UniformRandom, 0.1, 42);
+        let mut flits = 0usize;
+        let cycles = 4_000u64;
+        for c in 0..cycles {
+            for p in gen.generate(c, &cfg, true) {
+                flits += p.flits;
+            }
+        }
+        let measured = flits as f64 / (cycles as f64 * g.len() as f64);
+        assert!(
+            (measured - 0.1).abs() < 0.01,
+            "offered {measured} flits/node/cycle vs requested 0.1"
+        );
+    }
+
+    #[test]
+    fn generator_deterministic_per_seed() {
+        let g = grid8();
+        let cfg = SimConfig::default();
+        let mut a = TrafficGen::new(g, Pattern::UniformRandom, 0.05, 7);
+        let mut b = TrafficGen::new(g, Pattern::UniformRandom, 0.05, 7);
+        for c in 0..50 {
+            assert_eq!(a.generate(c, &cfg, false), b.generate(c, &cfg, false));
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Path-diversity and reliability metrics for routerless topologies.
+//!
+//! Routerless NoCs restrict each packet to a single loop, so reliability
+//! hinges on how many *distinct* loops serve each source/destination pair
+//! (paper §6.7: REC averages 2.77 paths per pair on 8x8, DRL 3.79, letting
+//! DRL tolerate more link failures).
+
+use crate::Topology;
+
+/// Average number of distinct loops serving each ordered pair of distinct
+/// nodes (counting pairs with zero paths), the paper's §6.7 metric.
+///
+/// Returns `0.0` for single-node grids.
+pub fn average_path_diversity(topo: &Topology) -> f64 {
+    let grid = topo.grid();
+    let n = grid.len();
+    if n <= 1 {
+        return 0.0;
+    }
+    let mut total = 0usize;
+    for ring in topo.loops() {
+        let k = ring.num_nodes();
+        // A loop of k nodes serves k*(k-1) ordered pairs.
+        total += k * (k - 1);
+    }
+    total as f64 / (n * (n - 1)) as f64
+}
+
+/// Number of distinct loops serving the ordered pair `(src, dst)`.
+pub fn pair_diversity(topo: &Topology, src: usize, dst: usize) -> usize {
+    topo.routes(src, dst).len()
+}
+
+/// Minimum pair diversity over all ordered pairs of distinct nodes.
+///
+/// A value of `0` means the topology is not fully connected; `k >= 2` means
+/// every pair survives any single loop failure.
+pub fn min_path_diversity(topo: &Topology) -> usize {
+    let grid = topo.grid();
+    let mut min = usize::MAX;
+    for s in grid.nodes() {
+        for d in grid.nodes() {
+            if s != d {
+                min = min.min(pair_diversity(topo, s, d));
+            }
+        }
+    }
+    if min == usize::MAX {
+        0
+    } else {
+        min
+    }
+}
+
+/// Whether the topology remains fully connected if loop `loop_index` fails
+/// entirely (a link failure on a loop's dedicated wiring disables the whole
+/// loop, since packets cannot leave it).
+///
+/// # Panics
+///
+/// Panics if `loop_index` is out of range.
+pub fn survives_loop_failure(topo: &Topology, loop_index: usize) -> bool {
+    assert!(loop_index < topo.loops().len(), "loop index out of range");
+    let grid = *topo.grid();
+    let remaining = topo
+        .loops()
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != loop_index)
+        .map(|(_, l)| *l);
+    match Topology::from_loops(grid, remaining) {
+        Ok(t) => t.is_fully_connected(),
+        Err(_) => false,
+    }
+}
+
+/// Number of loops whose individual failure the topology tolerates while
+/// staying fully connected.
+pub fn tolerable_single_failures(topo: &Topology) -> usize {
+    (0..topo.loops().len())
+        .filter(|&i| survives_loop_failure(topo, i))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Direction, Grid, RectLoop};
+
+    fn two_ring_topo() -> Topology {
+        let g = Grid::square(4).unwrap();
+        Topology::from_loops(
+            g,
+            [
+                RectLoop::new(0, 0, 3, 3, Direction::Clockwise).unwrap(),
+                RectLoop::new(0, 0, 3, 3, Direction::Counterclockwise).unwrap(),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn average_diversity_counts_loops() {
+        let t = two_ring_topo();
+        // Each ring serves 12*11 ordered pairs; 16*15 pairs total.
+        let expect = (2 * 12 * 11) as f64 / (16 * 15) as f64;
+        assert!((average_path_diversity(&t) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_diversity_matches_pairwise_sum() {
+        let t = two_ring_topo();
+        let g = t.grid();
+        let mut total = 0usize;
+        for s in g.nodes() {
+            for d in g.nodes() {
+                if s != d {
+                    total += pair_diversity(&t, s, d);
+                }
+            }
+        }
+        let brute = total as f64 / (g.len() * (g.len() - 1)) as f64;
+        assert!((brute - average_path_diversity(&t)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pair_diversity_on_and_off_loop() {
+        let t = two_ring_topo();
+        let g = t.grid();
+        assert_eq!(pair_diversity(&t, g.node_at(0, 0), g.node_at(3, 3)), 2);
+        assert_eq!(pair_diversity(&t, g.node_at(0, 0), g.node_at(1, 1)), 0);
+    }
+
+    #[test]
+    fn loop_failure_on_redundant_pair_of_rings() {
+        // 2x2 grid, two opposite rings: either one alone still connects all.
+        let g = Grid::square(2).unwrap();
+        let t = Topology::from_loops(
+            g,
+            [
+                RectLoop::new(0, 0, 1, 1, Direction::Clockwise).unwrap(),
+                RectLoop::new(0, 0, 1, 1, Direction::Counterclockwise).unwrap(),
+            ],
+        )
+        .unwrap();
+        assert!(survives_loop_failure(&t, 0));
+        assert!(survives_loop_failure(&t, 1));
+        assert_eq!(tolerable_single_failures(&t), 2);
+        assert_eq!(min_path_diversity(&t), 2);
+    }
+
+    #[test]
+    fn single_ring_has_no_redundancy() {
+        let g = Grid::square(2).unwrap();
+        let t = Topology::from_loops(
+            g,
+            [RectLoop::new(0, 0, 1, 1, Direction::Clockwise).unwrap()],
+        )
+        .unwrap();
+        assert!(!survives_loop_failure(&t, 0));
+        assert_eq!(tolerable_single_failures(&t), 0);
+        assert_eq!(min_path_diversity(&t), 1);
+    }
+}

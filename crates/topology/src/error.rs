@@ -1,0 +1,83 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by topology construction and mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// A grid dimension was zero or otherwise unusable.
+    InvalidGrid {
+        /// Requested width.
+        width: usize,
+        /// Requested height.
+        height: usize,
+    },
+    /// A loop was degenerate: its two diagonal corners share a row or a
+    /// column, so it does not describe a rectangle (paper §4.2 requires
+    /// `x1 != x2` and `y1 != y2`).
+    DegenerateLoop {
+        /// First corner, `(x1, y1)`.
+        corner_a: (usize, usize),
+        /// Second corner, `(x2, y2)`.
+        corner_b: (usize, usize),
+    },
+    /// A loop's corners fall outside the grid it is being placed on.
+    LoopOutOfBounds {
+        /// The offending loop's bounding corners `(x1, y1, x2, y2)`.
+        corners: (usize, usize, usize, usize),
+        /// Grid width.
+        width: usize,
+        /// Grid height.
+        height: usize,
+    },
+    /// The loop being added is already present in the topology (a
+    /// *repetitive* action in the paper's reward taxonomy, §4.3).
+    DuplicateLoop,
+    /// Adding the loop would push some node past the node-overlapping cap
+    /// (an *illegal* action in the paper's reward taxonomy, §4.3).
+    OverlapExceeded {
+        /// The first node that would exceed the cap.
+        node: usize,
+        /// The configured cap.
+        cap: usize,
+    },
+    /// A node index was out of range for the grid.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: usize,
+        /// Number of nodes in the grid.
+        len: usize,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::InvalidGrid { width, height } => {
+                write!(f, "invalid grid dimensions {width}x{height}")
+            }
+            TopologyError::DegenerateLoop { corner_a, corner_b } => write!(
+                f,
+                "degenerate loop: corners {corner_a:?} and {corner_b:?} do not span a rectangle"
+            ),
+            TopologyError::LoopOutOfBounds {
+                corners,
+                width,
+                height,
+            } => write!(
+                f,
+                "loop corners {corners:?} fall outside the {width}x{height} grid"
+            ),
+            TopologyError::DuplicateLoop => write!(f, "loop is already present in the topology"),
+            TopologyError::OverlapExceeded { node, cap } => write!(
+                f,
+                "adding loop would exceed node-overlapping cap {cap} at node {node}"
+            ),
+            TopologyError::NodeOutOfRange { node, len } => {
+                write!(f, "node {node} out of range for grid with {len} nodes")
+            }
+        }
+    }
+}
+
+impl Error for TopologyError {}

@@ -1,0 +1,254 @@
+use crate::TopologyError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node (core) on a [`Grid`], in row-major order:
+/// node `(x, y)` has id `y * width + x`.
+pub type NodeId = usize;
+
+/// An `(x, y)` coordinate on a grid. `x` is the column (0 at the left),
+/// `y` is the row (0 at the top).
+pub type Coord = (usize, usize);
+
+/// A rectangular arrangement of NoC nodes.
+///
+/// Grids are cheap to copy and carry only their dimensions; all per-node
+/// state lives in higher-level structures such as [`crate::Topology`].
+///
+/// # Example
+///
+/// ```
+/// use rlnoc_topology::Grid;
+/// # fn main() -> Result<(), rlnoc_topology::TopologyError> {
+/// let grid = Grid::new(4, 4)?;
+/// assert_eq!(grid.len(), 16);
+/// assert_eq!(grid.node_at(1, 2), 9);
+/// assert_eq!(grid.coord_of(9), (1, 2));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Grid {
+    width: usize,
+    height: usize,
+}
+
+impl Grid {
+    /// Creates a `width x height` grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::InvalidGrid`] if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Result<Self, TopologyError> {
+        if width == 0 || height == 0 {
+            return Err(TopologyError::InvalidGrid { width, height });
+        }
+        Ok(Grid { width, height })
+    }
+
+    /// Creates a square `n x n` grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::InvalidGrid`] if `n` is zero.
+    pub fn square(n: usize) -> Result<Self, TopologyError> {
+        Grid::new(n, n)
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rows.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Total number of nodes.
+    pub fn len(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Always `false`: grids have at least one node by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether the grid is square (`width == height`).
+    pub fn is_square(&self) -> bool {
+        self.width == self.height
+    }
+
+    /// The node id at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(x, y)` is outside the grid.
+    pub fn node_at(&self, x: usize, y: usize) -> NodeId {
+        assert!(
+            x < self.width && y < self.height,
+            "coordinate ({x}, {y}) outside {}x{} grid",
+            self.width,
+            self.height
+        );
+        y * self.width + x
+    }
+
+    /// The node id at `(x, y)`, or `None` if outside the grid.
+    pub fn try_node_at(&self, x: usize, y: usize) -> Option<NodeId> {
+        (x < self.width && y < self.height).then(|| y * self.width + x)
+    }
+
+    /// The `(x, y)` coordinate of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn coord_of(&self, node: NodeId) -> Coord {
+        assert!(
+            node < self.len(),
+            "node {node} out of range for grid with {} nodes",
+            self.len()
+        );
+        (node % self.width, node / self.width)
+    }
+
+    /// Validates that `node` is within range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::NodeOutOfRange`] when `node >= self.len()`.
+    pub fn check_node(&self, node: NodeId) -> Result<(), TopologyError> {
+        if node < self.len() {
+            Ok(())
+        } else {
+            Err(TopologyError::NodeOutOfRange {
+                node,
+                len: self.len(),
+            })
+        }
+    }
+
+    /// Iterates over all node ids in row-major order.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> {
+        0..self.len()
+    }
+
+    /// Iterates over all coordinates in row-major order.
+    pub fn coords(&self) -> impl Iterator<Item = Coord> + '_ {
+        let w = self.width;
+        (0..self.len()).map(move |i| (i % w, i / w))
+    }
+
+    /// Manhattan distance between two nodes (the mesh routing distance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn manhattan(&self, a: NodeId, b: NodeId) -> usize {
+        let (ax, ay) = self.coord_of(a);
+        let (bx, by) = self.coord_of(b);
+        ax.abs_diff(bx) + ay.abs_diff(by)
+    }
+
+    /// The default hop-count value used for unconnected node pairs in the
+    /// paper's state encoding (§4.2): `5 * max(width, height)`.
+    pub fn unconnected_hops(&self) -> usize {
+        5 * self.width.max(self.height)
+    }
+}
+
+impl fmt::Display for Grid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{} grid", self.width, self.height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_grid_dimensions() {
+        let g = Grid::square(4).unwrap();
+        assert_eq!(g.width(), 4);
+        assert_eq!(g.height(), 4);
+        assert_eq!(g.len(), 16);
+        assert!(g.is_square());
+    }
+
+    #[test]
+    fn rectangular_grid() {
+        let g = Grid::new(3, 5).unwrap();
+        assert_eq!(g.len(), 15);
+        assert!(!g.is_square());
+    }
+
+    #[test]
+    fn zero_dimension_rejected() {
+        assert!(matches!(
+            Grid::new(0, 4),
+            Err(TopologyError::InvalidGrid { .. })
+        ));
+        assert!(matches!(
+            Grid::new(4, 0),
+            Err(TopologyError::InvalidGrid { .. })
+        ));
+    }
+
+    #[test]
+    fn node_coord_round_trip() {
+        let g = Grid::new(5, 3).unwrap();
+        for node in g.nodes() {
+            let (x, y) = g.coord_of(node);
+            assert_eq!(g.node_at(x, y), node);
+        }
+    }
+
+    #[test]
+    fn try_node_at_bounds() {
+        let g = Grid::square(3).unwrap();
+        assert_eq!(g.try_node_at(2, 2), Some(8));
+        assert_eq!(g.try_node_at(3, 0), None);
+        assert_eq!(g.try_node_at(0, 3), None);
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        let g = Grid::square(4).unwrap();
+        assert_eq!(g.manhattan(g.node_at(0, 0), g.node_at(3, 3)), 6);
+        assert_eq!(g.manhattan(g.node_at(1, 1), g.node_at(1, 1)), 0);
+        assert_eq!(g.manhattan(g.node_at(2, 0), g.node_at(0, 1)), 3);
+    }
+
+    #[test]
+    fn unconnected_default_matches_paper() {
+        // Paper §4.2: default value of 5*N for an NxN grid.
+        assert_eq!(Grid::square(8).unwrap().unconnected_hops(), 40);
+        assert_eq!(Grid::new(4, 10).unwrap().unconnected_hops(), 50);
+    }
+
+    #[test]
+    fn coords_iteration_row_major() {
+        let g = Grid::new(2, 2).unwrap();
+        let coords: Vec<_> = g.coords().collect();
+        assert_eq!(coords, vec![(0, 0), (1, 0), (0, 1), (1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn node_at_out_of_bounds_panics() {
+        Grid::square(2).unwrap().node_at(2, 0);
+    }
+
+    #[test]
+    fn check_node_errors() {
+        let g = Grid::square(2).unwrap();
+        assert!(g.check_node(3).is_ok());
+        assert!(matches!(
+            g.check_node(4),
+            Err(TopologyError::NodeOutOfRange { node: 4, len: 4 })
+        ));
+    }
+}

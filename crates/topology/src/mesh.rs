@@ -1,0 +1,143 @@
+//! Router-based mesh reference fabric.
+//!
+//! The paper compares routerless designs against a conventional 2-D mesh
+//! with XY dimension-order routing. In a mesh the hop count between two
+//! nodes is exactly their Manhattan distance, so no topology synthesis is
+//! needed — only analytic helpers, which this module provides.
+
+use crate::{Grid, NodeId};
+
+/// Average hop count of an XY-routed mesh over all ordered pairs of
+/// distinct nodes.
+///
+/// For the paper's 8x8 mesh this evaluates to 16/3 ≈ 5.33, the number
+/// quoted in §3.1.
+///
+/// # Example
+///
+/// ```
+/// use rlnoc_topology::{Grid, mesh};
+/// let g = Grid::square(8).unwrap();
+/// assert!((mesh::average_hops(&g) - 5.333).abs() < 1e-3);
+/// ```
+pub fn average_hops(grid: &Grid) -> f64 {
+    let (w, h) = (grid.width() as f64, grid.height() as f64);
+    let n = w * h;
+    if n <= 1.0 {
+        return 0.0;
+    }
+    // Sum over all ordered pairs (including self-pairs, which contribute 0)
+    // of |x1-x2| + |y1-y2|:
+    //   sum_x = h^2 * w(w^2-1)/3,  sum_y = w^2 * h(h^2-1)/3.
+    let sum_x = h * h * w * (w * w - 1.0) / 3.0;
+    let sum_y = w * w * h * (h * h - 1.0) / 3.0;
+    (sum_x + sum_y) / (n * (n - 1.0))
+}
+
+/// Hop count between two mesh nodes (Manhattan distance).
+pub fn hops(grid: &Grid, src: NodeId, dst: NodeId) -> usize {
+    grid.manhattan(src, dst)
+}
+
+/// The XY dimension-order route from `src` to `dst`, inclusive of both
+/// endpoints: first traverse columns (X), then rows (Y).
+///
+/// # Panics
+///
+/// Panics if either node is out of range.
+pub fn xy_path(grid: &Grid, src: NodeId, dst: NodeId) -> Vec<NodeId> {
+    let (sx, sy) = grid.coord_of(src);
+    let (dx, dy) = grid.coord_of(dst);
+    let mut path = Vec::with_capacity(grid.manhattan(src, dst) + 1);
+    let mut x = sx;
+    let mut y = sy;
+    path.push(grid.node_at(x, y));
+    while x != dx {
+        if x < dx {
+            x += 1;
+        } else {
+            x -= 1;
+        }
+        path.push(grid.node_at(x, y));
+    }
+    while y != dy {
+        if y < dy {
+            y += 1;
+        } else {
+            y -= 1;
+        }
+        path.push(grid.node_at(x, y));
+    }
+    path
+}
+
+/// Number of bidirectional mesh links (`2wh - w - h`).
+pub fn num_links(grid: &Grid) -> usize {
+    let (w, h) = (grid.width(), grid.height());
+    2 * w * h - w - h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_matches_paper_8x8() {
+        let g = Grid::square(8).unwrap();
+        let analytic = average_hops(&g);
+        assert!((analytic - 5.333_333).abs() < 1e-5, "got {analytic}");
+    }
+
+    #[test]
+    fn average_matches_brute_force() {
+        for (w, h) in [(2, 2), (3, 4), (4, 4), (5, 3)] {
+            let g = Grid::new(w, h).unwrap();
+            let mut total = 0usize;
+            let mut pairs = 0usize;
+            for a in g.nodes() {
+                for b in g.nodes() {
+                    if a != b {
+                        total += g.manhattan(a, b);
+                        pairs += 1;
+                    }
+                }
+            }
+            let brute = total as f64 / pairs as f64;
+            assert!(
+                (brute - average_hops(&g)).abs() < 1e-9,
+                "{w}x{h}: brute {brute} vs analytic {}",
+                average_hops(&g)
+            );
+        }
+    }
+
+    #[test]
+    fn xy_path_shape() {
+        let g = Grid::square(4).unwrap();
+        let p = xy_path(&g, g.node_at(0, 0), g.node_at(3, 2));
+        assert_eq!(p.len(), 6);
+        assert_eq!(p[0], g.node_at(0, 0));
+        assert_eq!(*p.last().unwrap(), g.node_at(3, 2));
+        // X is fully traversed before Y moves.
+        assert_eq!(p[3], g.node_at(3, 0));
+        // Consecutive nodes are neighbours.
+        for w in p.windows(2) {
+            assert_eq!(g.manhattan(w[0], w[1]), 1);
+        }
+    }
+
+    #[test]
+    fn xy_path_degenerate() {
+        let g = Grid::square(4).unwrap();
+        let n = g.node_at(2, 2);
+        assert_eq!(xy_path(&g, n, n), vec![n]);
+    }
+
+    #[test]
+    fn link_count() {
+        let g = Grid::square(4).unwrap();
+        assert_eq!(num_links(&g), 24);
+        let g = Grid::new(2, 3).unwrap();
+        assert_eq!(num_links(&g), 7);
+    }
+}

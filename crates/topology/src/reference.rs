@@ -1,0 +1,289 @@
+//! Background reference fabrics: single-ring and hierarchical-ring NoCs.
+//!
+//! The paper's §2.1 surveys three router-based organizations before
+//! motivating routerless designs: single ring (Figure 1a), mesh (Figure 1b,
+//! see [`crate::mesh`]), and hierarchical ring (Figure 1c). This module
+//! provides idealized hop-count models of the two ring organizations so
+//! examples and benches can contrast them with routerless topologies.
+
+use crate::{Grid, NodeId, TopologyError};
+
+/// A Hamiltonian cycle visiting every node of `grid` exactly once, as used
+/// by an idealized single-ring NoC. Nodes appear in traversal order;
+/// consecutive nodes (and last→first) are grid neighbours.
+///
+/// # Errors
+///
+/// A grid graph admits a Hamiltonian cycle only if at least one dimension is
+/// even (it is bipartite with equal-size classes required). Returns
+/// [`TopologyError::InvalidGrid`] for odd×odd or degenerate (1-wide) grids.
+pub fn single_ring_order(grid: &Grid) -> Result<Vec<NodeId>, TopologyError> {
+    let (w, h) = (grid.width(), grid.height());
+    let invalid = || TopologyError::InvalidGrid {
+        width: w,
+        height: h,
+    };
+    if w < 2 || h < 2 {
+        return Err(invalid());
+    }
+    if h % 2 == 0 {
+        Ok(snake_cycle(grid, false))
+    } else if w % 2 == 0 {
+        Ok(snake_cycle(grid, true))
+    } else {
+        Err(invalid())
+    }
+}
+
+/// Builds the cycle: across the top row, boustrophedon through the remaining
+/// rows over columns `1..w`, then back up column 0. When `transpose` is set
+/// the construction swaps x and y (used when only the width is even).
+fn snake_cycle(grid: &Grid, transpose: bool) -> Vec<NodeId> {
+    let (w, h) = if transpose {
+        (grid.height(), grid.width())
+    } else {
+        (grid.width(), grid.height())
+    };
+    let at = |x: usize, y: usize| {
+        if transpose {
+            grid.node_at(y, x)
+        } else {
+            grid.node_at(x, y)
+        }
+    };
+    let mut order = Vec::with_capacity(w * h);
+    for x in 0..w {
+        order.push(at(x, 0));
+    }
+    for y in 1..h {
+        if y % 2 == 1 {
+            for x in (1..w).rev() {
+                order.push(at(x, y));
+            }
+        } else {
+            for x in 1..w {
+                order.push(at(x, y));
+            }
+        }
+    }
+    for y in (1..h).rev() {
+        order.push(at(0, y));
+    }
+    order
+}
+
+/// Directed hop count from `src` to `dst` on the single ring described by
+/// `order`, or `None` if either node is absent.
+pub fn single_ring_hops(order: &[NodeId], src: NodeId, dst: NodeId) -> Option<usize> {
+    let ps = order.iter().position(|&n| n == src)?;
+    let pd = order.iter().position(|&n| n == dst)?;
+    Some((pd + order.len() - ps) % order.len())
+}
+
+/// Average hop count of a unidirectional single ring over all ordered pairs
+/// of distinct nodes: `n / 2` for `n` nodes.
+pub fn single_ring_average_hops(n: usize) -> f64 {
+    if n <= 1 {
+        0.0
+    } else {
+        n as f64 / 2.0
+    }
+}
+
+/// An idealized hierarchical-ring NoC: the grid is split into quadrants,
+/// each served by a unidirectional local ring; a global ring links one
+/// bridge router per quadrant, which forwards packets between ring levels
+/// (Figure 1c).
+#[derive(Debug, Clone)]
+pub struct HierarchicalRing {
+    grid: Grid,
+    /// Local rings as cyclic node orders.
+    locals: Vec<Vec<NodeId>>,
+    /// Global ring as a cyclic order of bridge nodes (one per local ring).
+    global: Vec<NodeId>,
+}
+
+impl HierarchicalRing {
+    /// Builds the quadrant decomposition for `grid`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::InvalidGrid`] if either dimension is < 2.
+    pub fn new(grid: Grid) -> Result<Self, TopologyError> {
+        let (w, h) = (grid.width(), grid.height());
+        if w < 2 || h < 2 {
+            return Err(TopologyError::InvalidGrid {
+                width: w,
+                height: h,
+            });
+        }
+        let (mx, my) = (w.div_ceil(2), h.div_ceil(2));
+        let quads = [
+            (0..mx, 0..my),
+            (mx..w, 0..my),
+            (mx..w, my..h),
+            (0..mx, my..h),
+        ];
+        let mut locals = Vec::with_capacity(4);
+        let mut global = Vec::with_capacity(4);
+        for (xs, ys) in quads {
+            if xs.is_empty() || ys.is_empty() {
+                continue;
+            }
+            // Cyclic order: boustrophedon scan of the quadrant. Rings are
+            // dedicated wires, so the cyclic order need not be a grid cycle.
+            let mut ring = Vec::new();
+            for (i, y) in ys.clone().enumerate() {
+                let row: Vec<NodeId> = xs.clone().map(|x| grid.node_at(x, y)).collect();
+                if i % 2 == 0 {
+                    ring.extend(row);
+                } else {
+                    ring.extend(row.into_iter().rev());
+                }
+            }
+            global.push(ring[0]);
+            locals.push(ring);
+        }
+        Ok(HierarchicalRing {
+            grid,
+            locals,
+            global,
+        })
+    }
+
+    /// The local rings as cyclic node orders.
+    pub fn local_rings(&self) -> &[Vec<NodeId>] {
+        &self.locals
+    }
+
+    /// The bridge nodes forming the global ring, in cyclic order.
+    pub fn global_ring(&self) -> &[NodeId] {
+        &self.global
+    }
+
+    /// Hop count from `src` to `dst`: local hops to the bridge, global hops
+    /// between bridges, local hops to the destination. Intra-ring pairs take
+    /// the direct local path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range for the grid.
+    pub fn hops(&self, src: NodeId, dst: NodeId) -> usize {
+        assert!(src < self.grid.len() && dst < self.grid.len());
+        if src == dst {
+            return 0;
+        }
+        let qs = self.quadrant_of(src);
+        let qd = self.quadrant_of(dst);
+        if qs == qd {
+            return cycle_dist(&self.locals[qs], src, dst);
+        }
+        let to_bridge = cycle_dist(&self.locals[qs], src, self.global[qs]);
+        let global = cycle_dist_by_index(self.global.len(), qs, qd);
+        let from_bridge = cycle_dist(&self.locals[qd], self.global[qd], dst);
+        to_bridge + global + from_bridge
+    }
+
+    /// Average hop count over all ordered pairs of distinct nodes.
+    pub fn average_hops(&self) -> f64 {
+        let n = self.grid.len();
+        let mut total = 0usize;
+        for s in 0..n {
+            for d in 0..n {
+                if s != d {
+                    total += self.hops(s, d);
+                }
+            }
+        }
+        total as f64 / (n * (n - 1)) as f64
+    }
+
+    fn quadrant_of(&self, node: NodeId) -> usize {
+        self.locals
+            .iter()
+            .position(|r| r.contains(&node))
+            .expect("every node belongs to a quadrant")
+    }
+}
+
+fn cycle_dist(order: &[NodeId], a: NodeId, b: NodeId) -> usize {
+    let pa = order.iter().position(|&n| n == a).expect("node on ring");
+    let pb = order.iter().position(|&n| n == b).expect("node on ring");
+    (pb + order.len() - pa) % order.len()
+}
+
+fn cycle_dist_by_index(len: usize, a: usize, b: usize) -> usize {
+    (b + len - a) % len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_ring_is_hamiltonian_cycle() {
+        for (w, h) in [(2, 2), (4, 4), (3, 4), (4, 3), (6, 5)] {
+            let g = Grid::new(w, h).unwrap();
+            let order = single_ring_order(&g).unwrap();
+            assert_eq!(order.len(), g.len(), "{w}x{h} visits all nodes");
+            let mut seen = vec![false; g.len()];
+            for &n in &order {
+                assert!(!seen[n], "{w}x{h} node {n} repeated");
+                seen[n] = true;
+            }
+            for i in 0..order.len() {
+                let a = order[i];
+                let b = order[(i + 1) % order.len()];
+                assert_eq!(g.manhattan(a, b), 1, "{w}x{h}: {a}->{b} not adjacent");
+            }
+        }
+    }
+
+    #[test]
+    fn odd_odd_grid_has_no_cycle() {
+        let g = Grid::new(3, 3).unwrap();
+        assert!(single_ring_order(&g).is_err());
+        let g = Grid::new(1, 4).unwrap();
+        assert!(single_ring_order(&g).is_err());
+    }
+
+    #[test]
+    fn single_ring_distances() {
+        let g = Grid::square(4).unwrap();
+        let order = single_ring_order(&g).unwrap();
+        let a = order[0];
+        let b = order[5];
+        assert_eq!(single_ring_hops(&order, a, b), Some(5));
+        assert_eq!(single_ring_hops(&order, b, a), Some(11));
+        assert_eq!(single_ring_average_hops(16), 8.0);
+    }
+
+    #[test]
+    fn hierarchical_ring_covers_all_nodes() {
+        let g = Grid::square(8).unwrap();
+        let hr = HierarchicalRing::new(g).unwrap();
+        let covered: usize = hr.local_rings().iter().map(Vec::len).sum();
+        assert_eq!(covered, g.len());
+        assert_eq!(hr.global_ring().len(), 4);
+    }
+
+    #[test]
+    fn hierarchical_beats_single_ring_on_average() {
+        // The whole point of hierarchy: shorter average journeys than one
+        // big ring once the network is large enough.
+        let g = Grid::square(8).unwrap();
+        let hr = HierarchicalRing::new(g).unwrap();
+        assert!(hr.average_hops() < single_ring_average_hops(g.len()));
+    }
+
+    #[test]
+    fn hierarchical_intra_quadrant_is_local() {
+        let g = Grid::square(4).unwrap();
+        let hr = HierarchicalRing::new(g).unwrap();
+        // Nodes (0,0) and (1,1) share the top-left quadrant ring of length 4.
+        let a = g.node_at(0, 0);
+        let b = g.node_at(1, 1);
+        assert!(hr.hops(a, b) < 4);
+        assert_eq!(hr.hops(a, a), 0);
+    }
+}

@@ -1,0 +1,150 @@
+//! ASCII rendering of routerless topologies, for experiment output and
+//! debugging (e.g. reproducing the paper's Figure 9 visually).
+
+use crate::{NodeId, Topology};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Renders the topology as an ASCII grid. Nodes are `o`; each physical
+/// channel between adjacent nodes is annotated with the number of loop
+/// wires using it (both directions summed), or left blank when unused.
+///
+/// # Example
+///
+/// ```
+/// use rlnoc_topology::{render, Grid, RectLoop, Direction, Topology};
+/// # fn main() -> Result<(), rlnoc_topology::TopologyError> {
+/// let topo = Topology::from_loops(
+///     Grid::square(2)?,
+///     [RectLoop::new(0, 0, 1, 1, Direction::Clockwise)?],
+/// )?;
+/// let art = render::render_ascii(&topo);
+/// assert!(art.contains('o'));
+/// # Ok(())
+/// # }
+/// ```
+pub fn render_ascii(topo: &Topology) -> String {
+    let grid = topo.grid();
+    let (w, h) = (grid.width(), grid.height());
+    // Count loop traversals per undirected physical segment.
+    let mut seg: HashMap<(NodeId, NodeId), u32> = HashMap::new();
+    for ring in topo.loops() {
+        for (a, b) in ring.links(grid) {
+            let key = (a.min(b), a.max(b));
+            *seg.entry(key).or_insert(0) += 1;
+        }
+    }
+    let count = |a: NodeId, b: NodeId| seg.get(&(a.min(b), a.max(b))).copied().unwrap_or(0);
+
+    let mut out = String::new();
+    for y in 0..h {
+        // Node row with horizontal channels.
+        for x in 0..w {
+            out.push('o');
+            if x + 1 < w {
+                let c = count(grid.node_at(x, y), grid.node_at(x + 1, y));
+                if c == 0 {
+                    out.push_str("     ");
+                } else {
+                    let _ = write!(out, "{:-<5}", format!("--{c}"));
+                }
+            }
+        }
+        out.push('\n');
+        // Vertical channel row.
+        if y + 1 < h {
+            for x in 0..w {
+                let c = count(grid.node_at(x, y), grid.node_at(x, y + 1));
+                if c == 0 {
+                    out.push(' ');
+                } else {
+                    out.push('|');
+                }
+                if x + 1 < w {
+                    out.push_str("     ");
+                }
+            }
+            out.push('\n');
+            for x in 0..w {
+                let c = count(grid.node_at(x, y), grid.node_at(x, y + 1));
+                if c == 0 {
+                    out.push_str(" ");
+                } else {
+                    let digits = format!("{c}");
+                    out.push_str(&digits[..1]);
+                }
+                if x + 1 < w {
+                    out.push_str("     ");
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// A one-line-per-loop summary sorted by loop size (largest first),
+/// showing corners, direction, and perimeter length.
+pub fn describe_loops(topo: &Topology) -> String {
+    let mut loops: Vec<_> = topo.loops().to_vec();
+    loops.sort_by_key(|l| std::cmp::Reverse(l.num_nodes()));
+    let mut out = String::new();
+    for l in loops {
+        let _ = writeln!(out, "{l} ({} nodes)", l.num_nodes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Direction, Grid, RectLoop};
+
+    fn sample() -> Topology {
+        Topology::from_loops(
+            Grid::square(3).unwrap(),
+            [
+                RectLoop::new(0, 0, 2, 2, Direction::Clockwise).unwrap(),
+                RectLoop::new(0, 0, 1, 1, Direction::Counterclockwise).unwrap(),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn render_has_all_nodes() {
+        let art = render_ascii(&sample());
+        assert_eq!(art.matches('o').count(), 9);
+    }
+
+    #[test]
+    fn render_marks_shared_channels() {
+        // The (0,0)-(1,0) channel carries both loops → annotated with 2.
+        let art = render_ascii(&sample());
+        assert!(art.contains("--2--"), "art:\n{art}");
+        // The outer ring's exclusive channels carry 1.
+        assert!(art.contains("--1--"), "art:\n{art}");
+    }
+
+    #[test]
+    fn render_blank_for_unused_channels() {
+        // Center-to-right channel (1,1)-(2,1) is used by no loop.
+        let g = Grid::square(3).unwrap();
+        let t = Topology::from_loops(
+            g,
+            [RectLoop::new(0, 0, 2, 2, Direction::Clockwise).unwrap()],
+        )
+        .unwrap();
+        let art = render_ascii(&t);
+        // Middle row reads: o on the left edge, gap, center o, gap, right o.
+        let mid = art.lines().nth(3).unwrap();
+        assert!(mid.contains("o     o"), "middle row: {mid}");
+    }
+
+    #[test]
+    fn describe_sorts_by_size() {
+        let txt = describe_loops(&sample());
+        let first = txt.lines().next().unwrap();
+        assert!(first.contains("(8 nodes)"), "{txt}");
+    }
+}

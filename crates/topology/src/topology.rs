@@ -1,0 +1,353 @@
+use crate::{Grid, HopMatrix, NodeId, RectLoop, TopologyError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A routerless NoC topology: a set of unidirectional rectangular loops on a
+/// grid, with the derived hop-count matrix and node-overlapping bookkeeping
+/// kept incrementally up to date.
+///
+/// *Node overlapping* is the number of loops passing through a node's
+/// interface — the paper's measure of wiring cost, which manufacturing
+/// constraints cap (§2.1). [`Topology::add_loop_with_cap`] enforces such a
+/// cap; [`Topology::add_loop`] does not.
+///
+/// # Example
+///
+/// ```
+/// use rlnoc_topology::{Grid, Topology, RectLoop, Direction};
+/// # fn main() -> Result<(), rlnoc_topology::TopologyError> {
+/// let mut topo = Topology::new(Grid::square(4)?);
+/// topo.add_loop(RectLoop::new(0, 0, 3, 3, Direction::Clockwise)?)?;
+/// topo.add_loop(RectLoop::new(0, 0, 3, 3, Direction::Counterclockwise)?)?;
+/// assert_eq!(topo.node_overlap(topo.grid().node_at(0, 0)), 2);
+/// assert_eq!(topo.node_overlap(topo.grid().node_at(1, 1)), 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    grid: Grid,
+    loops: Vec<RectLoop>,
+    hops: HopMatrix,
+    overlap: Vec<u32>,
+}
+
+impl Topology {
+    /// Creates an empty (fully disconnected) topology on `grid`.
+    pub fn new(grid: Grid) -> Self {
+        Topology {
+            grid,
+            loops: Vec::new(),
+            hops: HopMatrix::new(grid),
+            overlap: vec![0; grid.len()],
+        }
+    }
+
+    /// Builds a topology from a list of loops.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error encountered while adding loops (out of
+    /// bounds or duplicate).
+    pub fn from_loops(
+        grid: Grid,
+        loops: impl IntoIterator<Item = RectLoop>,
+    ) -> Result<Self, TopologyError> {
+        let mut topo = Topology::new(grid);
+        for l in loops {
+            topo.add_loop(l)?;
+        }
+        Ok(topo)
+    }
+
+    /// The underlying grid.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// The loops currently placed, in insertion order.
+    pub fn loops(&self) -> &[RectLoop] {
+        &self.loops
+    }
+
+    /// The derived hop-count matrix.
+    pub fn hop_matrix(&self) -> &HopMatrix {
+        &self.hops
+    }
+
+    /// Whether `ring` is already present.
+    pub fn contains_loop(&self, ring: &RectLoop) -> bool {
+        self.loops.contains(ring)
+    }
+
+    /// Number of loops passing through `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn node_overlap(&self, node: NodeId) -> u32 {
+        self.overlap[node]
+    }
+
+    /// The maximum node overlapping across the grid.
+    pub fn max_overlap(&self) -> u32 {
+        self.overlap.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Per-node overlap counts, indexed by [`NodeId`].
+    pub fn overlaps(&self) -> &[u32] {
+        &self.overlap
+    }
+
+    /// Whether adding `ring` would push any perimeter node past `cap`.
+    /// Returns the first offending node, if any.
+    pub fn overlap_violation(&self, ring: &RectLoop, cap: u32) -> Option<NodeId> {
+        ring.perimeter_nodes(&self.grid)
+            .into_iter()
+            .find(|&n| self.overlap[n] + 1 > cap)
+    }
+
+    /// Adds `ring` to the topology, updating hop counts and overlaps.
+    ///
+    /// # Errors
+    ///
+    /// - [`TopologyError::LoopOutOfBounds`] if the loop exceeds the grid;
+    /// - [`TopologyError::DuplicateLoop`] if an identical loop (same
+    ///   rectangle *and* direction) is already placed.
+    pub fn add_loop(&mut self, ring: RectLoop) -> Result<(), TopologyError> {
+        ring.check_on(&self.grid)?;
+        if self.contains_loop(&ring) {
+            return Err(TopologyError::DuplicateLoop);
+        }
+        for n in ring.perimeter_nodes(&self.grid) {
+            self.overlap[n] += 1;
+        }
+        self.hops.apply_loop(&self.grid, &ring);
+        self.loops.push(ring);
+        Ok(())
+    }
+
+    /// Adds `ring` only if no node would exceed the node-overlapping `cap`.
+    ///
+    /// # Errors
+    ///
+    /// In addition to [`Topology::add_loop`]'s errors, returns
+    /// [`TopologyError::OverlapExceeded`] naming the first offending node.
+    pub fn add_loop_with_cap(&mut self, ring: RectLoop, cap: u32) -> Result<(), TopologyError> {
+        ring.check_on(&self.grid)?;
+        if let Some(node) = self.overlap_violation(&ring, cap) {
+            return Err(TopologyError::OverlapExceeded {
+                node,
+                cap: cap as usize,
+            });
+        }
+        self.add_loop(ring)
+    }
+
+    /// Whether every ordered pair of distinct nodes can communicate.
+    pub fn is_fully_connected(&self) -> bool {
+        self.hops.is_fully_connected()
+    }
+
+    /// Average hop count over all ordered pairs (sentinel-weighted when
+    /// incomplete); see [`HopMatrix::average_hops`].
+    pub fn average_hops(&self) -> f64 {
+        self.hops.average_hops()
+    }
+
+    /// The loops that carry traffic from `src` to `dst`, with their directed
+    /// distances, sorted by distance (shortest first).
+    pub fn routes(&self, src: NodeId, dst: NodeId) -> Vec<(usize, usize)> {
+        let mut found: Vec<(usize, usize)> = self
+            .loops
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| l.distance(&self.grid, src, dst).map(|d| (i, d)))
+            .filter(|&(_, d)| src == dst || d > 0)
+            .collect();
+        if src == dst {
+            return Vec::new();
+        }
+        found.sort_by_key(|&(_, d)| d);
+        found
+    }
+
+    /// Total wiring length in links summed over all loops — a proxy for the
+    /// metal resources the design consumes.
+    pub fn total_wire_length(&self) -> usize {
+        self.loops.iter().map(RectLoop::num_nodes).sum()
+    }
+
+    /// Number of loop indices passing through each node, for interface
+    /// sizing: the node's input-buffer count equals its overlap in the
+    /// paper's REC-style interface (one flit buffer per loop).
+    pub fn loops_through(&self, node: NodeId) -> Vec<usize> {
+        self.loops
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.contains(&self.grid, node))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Renders the loop set as an ASCII summary (one loop per line).
+    pub fn describe(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{} with {} loops, max overlap {}, avg hops {:.3}",
+            self.grid,
+            self.loops.len(),
+            self.max_overlap(),
+            self.average_hops()
+        );
+        for l in &self.loops {
+            let _ = writeln!(s, "  {l}");
+        }
+        s
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Direction;
+
+    fn outer(n: usize, dir: Direction) -> RectLoop {
+        RectLoop::new(0, 0, n - 1, n - 1, dir).unwrap()
+    }
+
+    #[test]
+    fn add_and_query_loops() {
+        let mut t = Topology::new(Grid::square(4).unwrap());
+        t.add_loop(outer(4, Direction::Clockwise)).unwrap();
+        assert_eq!(t.loops().len(), 1);
+        assert_eq!(t.total_wire_length(), 12);
+        assert!(!t.is_fully_connected(), "inner nodes are isolated");
+    }
+
+    #[test]
+    fn duplicate_rejected_but_reverse_allowed() {
+        let mut t = Topology::new(Grid::square(4).unwrap());
+        t.add_loop(outer(4, Direction::Clockwise)).unwrap();
+        assert_eq!(
+            t.add_loop(outer(4, Direction::Clockwise)),
+            Err(TopologyError::DuplicateLoop)
+        );
+        // Same rectangle, opposite direction: a distinct loop.
+        t.add_loop(outer(4, Direction::Counterclockwise)).unwrap();
+        assert_eq!(t.loops().len(), 2);
+    }
+
+    #[test]
+    fn overlap_counting() {
+        let g = Grid::square(4).unwrap();
+        let mut t = Topology::new(g);
+        t.add_loop(outer(4, Direction::Clockwise)).unwrap();
+        t.add_loop(RectLoop::new(0, 0, 1, 1, Direction::Clockwise).unwrap())
+            .unwrap();
+        assert_eq!(t.node_overlap(g.node_at(0, 0)), 2);
+        assert_eq!(t.node_overlap(g.node_at(1, 1)), 1);
+        assert_eq!(t.node_overlap(g.node_at(2, 2)), 0);
+        assert_eq!(t.max_overlap(), 2);
+    }
+
+    #[test]
+    fn cap_enforced() {
+        let g = Grid::square(4).unwrap();
+        let mut t = Topology::new(g);
+        t.add_loop_with_cap(outer(4, Direction::Clockwise), 1).unwrap();
+        let err = t
+            .add_loop_with_cap(outer(4, Direction::Counterclockwise), 1)
+            .unwrap_err();
+        assert!(matches!(err, TopologyError::OverlapExceeded { cap: 1, .. }));
+        // The loop was not partially applied.
+        assert_eq!(t.loops().len(), 1);
+        assert_eq!(t.max_overlap(), 1);
+    }
+
+    #[test]
+    fn routes_sorted_by_distance() {
+        let g = Grid::square(4).unwrap();
+        let mut t = Topology::new(g);
+        t.add_loop(outer(4, Direction::Clockwise)).unwrap();
+        t.add_loop(outer(4, Direction::Counterclockwise)).unwrap();
+        let a = g.node_at(0, 0);
+        let b = g.node_at(3, 0);
+        let routes = t.routes(a, b);
+        assert_eq!(routes.len(), 2);
+        assert_eq!(routes[0].1, 3, "CW is the short way");
+        assert_eq!(routes[1].1, 9, "CCW is the long way");
+        assert!(t.routes(a, a).is_empty());
+    }
+
+    #[test]
+    fn figure2c_4x4_rec_style_fully_connected() {
+        // A 4x4 loop set in the spirit of Figure 2(c): outer ring both ways
+        // plus the four 2x2-ish inner loops covering all pairs.
+        let g = Grid::square(4).unwrap();
+        let mut t = Topology::new(g);
+        let loops = [
+            RectLoop::new(0, 0, 3, 3, Direction::Clockwise).unwrap(),
+            RectLoop::new(0, 0, 3, 3, Direction::Counterclockwise).unwrap(),
+            RectLoop::new(0, 0, 1, 3, Direction::Clockwise).unwrap(),
+            RectLoop::new(2, 0, 3, 3, Direction::Counterclockwise).unwrap(),
+            RectLoop::new(0, 0, 3, 1, Direction::Clockwise).unwrap(),
+            RectLoop::new(0, 2, 3, 3, Direction::Counterclockwise).unwrap(),
+            RectLoop::new(1, 1, 2, 2, Direction::Clockwise).unwrap(),
+            RectLoop::new(1, 1, 2, 2, Direction::Counterclockwise).unwrap(),
+            RectLoop::new(0, 1, 3, 2, Direction::Clockwise).unwrap(),
+            RectLoop::new(1, 0, 2, 3, Direction::Counterclockwise).unwrap(),
+            // The four 3x3 corner loops that connect each corner with the
+            // diagonally adjacent inner nodes.
+            RectLoop::new(0, 0, 2, 2, Direction::Clockwise).unwrap(),
+            RectLoop::new(1, 1, 3, 3, Direction::Counterclockwise).unwrap(),
+            RectLoop::new(1, 0, 3, 2, Direction::Clockwise).unwrap(),
+            RectLoop::new(0, 1, 2, 3, Direction::Counterclockwise).unwrap(),
+        ];
+        for l in loops {
+            t.add_loop(l).unwrap();
+        }
+        assert!(t.is_fully_connected());
+        assert!(t.average_hops() < g.unconnected_hops() as f64);
+    }
+
+    #[test]
+    fn loops_through_matches_overlap() {
+        let g = Grid::square(4).unwrap();
+        let mut t = Topology::new(g);
+        t.add_loop(outer(4, Direction::Clockwise)).unwrap();
+        t.add_loop(RectLoop::new(0, 0, 2, 2, Direction::Clockwise).unwrap())
+            .unwrap();
+        for n in g.nodes() {
+            assert_eq!(t.loops_through(n).len() as u32, t.node_overlap(n));
+        }
+    }
+
+    #[test]
+    fn from_loops_constructor() {
+        let g = Grid::square(2).unwrap();
+        let t = Topology::from_loops(
+            g,
+            [RectLoop::new(0, 0, 1, 1, Direction::Clockwise).unwrap()],
+        )
+        .unwrap();
+        assert!(t.is_fully_connected());
+    }
+
+    #[test]
+    fn out_of_bounds_loop_rejected() {
+        let mut t = Topology::new(Grid::square(3).unwrap());
+        let err = t
+            .add_loop(RectLoop::new(0, 0, 3, 3, Direction::Clockwise).unwrap())
+            .unwrap_err();
+        assert!(matches!(err, TopologyError::LoopOutOfBounds { .. }));
+    }
+}

@@ -1,0 +1,82 @@
+//! Full-system style evaluation: run PARSEC-like application traffic over
+//! mesh, REC, and DRL fabrics on an 8x8 chip and report latency, execution
+//! time, power, and area — the paper's §6.4–6.6 pipeline end to end.
+//!
+//! Run with: `cargo run --release --example parsec_evaluation`
+
+use rlnoc::baselines::rec_topology;
+use rlnoc::drl::rollout::greedy_rollout;
+use rlnoc::power::{AreaModel, Fabric, PowerModel};
+use rlnoc::sim::{MeshSim, RouterlessSim, SimConfig};
+use rlnoc::topology::Grid;
+use rlnoc::workloads::{run_benchmark, Benchmark};
+
+fn main() {
+    let grid = Grid::square(8).expect("8x8 grid");
+    let cap = 14; // the REC-equivalent wiring budget, 2(N-1)
+    let rec = rec_topology(grid).expect("REC");
+    let drl = greedy_rollout(grid, cap);
+    println!(
+        "topologies: REC {:.3} avg hops, DRL {:.3} avg hops (cap {cap})",
+        rec.average_hops(),
+        drl.average_hops()
+    );
+
+    let mesh_cfg = SimConfig {
+        warmup: 1_000,
+        measure: 10_000,
+        drain: 4_000,
+        ..SimConfig::mesh()
+    };
+    let rl_cfg = SimConfig {
+        warmup: 1_000,
+        measure: 10_000,
+        drain: 4_000,
+        ..SimConfig::routerless()
+    };
+    let power = PowerModel::default();
+    let area = AreaModel::default();
+    let rl_fabric = Fabric::Routerless { overlap: cap };
+
+    println!(
+        "\n{:<14} {:>8} {:>8} {:>8}   {:>9} {:>9} {:>9}   {:>8} {:>8}",
+        "workload",
+        "mesh_lat",
+        "rec_lat",
+        "drl_lat",
+        "mesh_ms",
+        "rec_ms",
+        "drl_ms",
+        "mesh_mW",
+        "drl_mW"
+    );
+    for (i, bench) in Benchmark::ALL.iter().enumerate() {
+        let seed = 200 + i as u64;
+        let m_mesh = run_benchmark(&mut MeshSim::mesh2(grid), *bench, &mesh_cfg, seed);
+        let m_rec = run_benchmark(&mut RouterlessSim::new(&rec), *bench, &rl_cfg, seed);
+        let m_drl = run_benchmark(&mut RouterlessSim::new(&drl), *bench, &rl_cfg, seed);
+        let model = bench.model();
+        let l_ref = m_mesh.avg_packet_latency();
+        let p_mesh = power.from_metrics(Fabric::Mesh, &m_mesh);
+        let p_drl = power.from_metrics(rl_fabric, &m_drl);
+        println!(
+            "{:<14} {:>8.2} {:>8.2} {:>8.2}   {:>9.1} {:>9.1} {:>9.1}   {:>8.3} {:>8.3}",
+            bench.to_string(),
+            l_ref,
+            m_rec.avg_packet_latency(),
+            m_drl.avg_packet_latency(),
+            model.execution_time_ms(l_ref, l_ref),
+            model.execution_time_ms(m_rec.avg_packet_latency(), l_ref),
+            model.execution_time_ms(m_drl.avg_packet_latency(), l_ref),
+            p_mesh.total_mw(),
+            p_drl.total_mw(),
+        );
+    }
+
+    println!(
+        "\nper-node area: mesh {:.0} um^2, routerless(cap {cap}) {:.0} um^2 ({:.1}x smaller)",
+        area.node_area_um2(Fabric::Mesh),
+        area.node_area_um2(rl_fabric),
+        area.node_area_um2(Fabric::Mesh) / area.node_area_um2(rl_fabric)
+    );
+}

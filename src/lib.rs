@@ -1,0 +1,26 @@
+//! # rlnoc — deep reinforcement learning for routerless NoC exploration
+//!
+//! A Rust reproduction of *"A Deep Reinforcement Learning Framework for
+//! Architectural Exploration: A Routerless NoC Case Study"* (HPCA 2020).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! - [`topology`]: grids, rectangular loops, hop-count matrices, routing.
+//! - [`baselines`]: the prior design methods, REC and IMR.
+//! - [`nn`]: the from-scratch neural-network library.
+//! - [`drl`]: the DRL framework (environments, MCTS, actor-critic,
+//!   multi-threaded exploration).
+//! - [`sim`]: the cycle-accurate flit-level NoC simulator.
+//! - [`workloads`]: application traffic models (PARSEC-like).
+//! - [`power`]: analytical power and area models.
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and
+//! `DESIGN.md`/`EXPERIMENTS.md` for the paper-reproduction index.
+
+pub use rlnoc_baselines as baselines;
+pub use rlnoc_core as drl;
+pub use rlnoc_nn as nn;
+pub use rlnoc_power as power;
+pub use rlnoc_sim as sim;
+pub use rlnoc_topology as topology;
+pub use rlnoc_workloads as workloads;

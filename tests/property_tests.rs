@@ -1,0 +1,214 @@
+//! Property-based tests (proptest) on the workspace's core invariants.
+
+use proptest::prelude::*;
+use rlnoc::drl::routerless::{LoopAction, RouterlessEnv};
+use rlnoc::drl::Environment;
+use rlnoc::nn::Tensor;
+use rlnoc::sim::traffic::Pattern;
+use rlnoc::topology::{Direction, Grid, HopMatrix, RectLoop, RoutingTable, Topology};
+
+/// Strategy: a valid rectangle on an `n x n` grid, in either direction.
+fn arb_loop(n: usize) -> impl Strategy<Value = RectLoop> {
+    (0..n, 0..n, 0..n, 0..n, any::<bool>()).prop_filter_map(
+        "degenerate rectangles are rejected",
+        move |(x1, y1, x2, y2, cw)| {
+            let dir = if cw {
+                Direction::Clockwise
+            } else {
+                Direction::Counterclockwise
+            };
+            RectLoop::new(x1, y1, x2, y2, dir).ok()
+        },
+    )
+}
+
+fn arb_loops(n: usize, max: usize) -> impl Strategy<Value = Vec<RectLoop>> {
+    prop::collection::vec(arb_loop(n), 1..max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Incremental hop-matrix maintenance equals recomputing from scratch
+    /// in any loop order.
+    #[test]
+    fn hop_matrix_incremental_matches_exact(loops in arb_loops(5, 8)) {
+        let grid = Grid::square(5).unwrap();
+        let mut m = HopMatrix::new(grid);
+        let mut unique: Vec<RectLoop> = Vec::new();
+        for l in loops {
+            if !unique.contains(&l) {
+                unique.push(l);
+                m.apply_loop(&grid, &l);
+            }
+        }
+        for s in grid.nodes() {
+            for d in grid.nodes() {
+                let exact = if s == d {
+                    0
+                } else {
+                    unique
+                        .iter()
+                        .filter_map(|l| l.distance(&grid, s, d))
+                        .min()
+                        .map(|x| x as u32)
+                        .unwrap_or(m.sentinel())
+                };
+                prop_assert_eq!(m.hops(s, d), exact);
+            }
+        }
+    }
+
+    /// A loop and its reversal have complementary directed distances.
+    #[test]
+    fn loop_reversal_complements_distance(l in arb_loop(6)) {
+        let grid = Grid::square(6).unwrap();
+        let r = l.reversed();
+        let nodes = l.perimeter_nodes(&grid);
+        for &a in &nodes {
+            for &b in &nodes {
+                if a == b { continue; }
+                let fwd = l.distance(&grid, a, b).unwrap();
+                let rev = r.distance(&grid, a, b).unwrap();
+                prop_assert_eq!(fwd + rev, l.num_nodes());
+            }
+        }
+    }
+
+    /// The routing table always agrees with the hop matrix, and overlap
+    /// bookkeeping matches a recount.
+    #[test]
+    fn routing_and_overlap_agree(loops in arb_loops(5, 10)) {
+        let grid = Grid::square(5).unwrap();
+        let mut topo = Topology::new(grid);
+        for l in loops {
+            let _ = topo.add_loop(l); // duplicates rejected, that's fine
+        }
+        let table = RoutingTable::build(&topo);
+        let hops = topo.hop_matrix();
+        for s in grid.nodes() {
+            for d in grid.nodes() {
+                if s == d { continue; }
+                match table.route(s, d) {
+                    Some(r) => prop_assert_eq!(r.hops as u32, hops.hops(s, d)),
+                    None => prop_assert!(!hops.is_connected(s, d)),
+                }
+            }
+        }
+        for n in grid.nodes() {
+            prop_assert_eq!(topo.loops_through(n).len() as u32, topo.node_overlap(n));
+        }
+    }
+
+    /// Environment invariants: rewards follow the paper's taxonomy and the
+    /// cap is never violated, whatever the agent throws at it.
+    #[test]
+    fn env_reward_taxonomy_and_cap(
+        actions in prop::collection::vec((0usize..4, 0usize..4, 0usize..4, 0usize..4, any::<bool>()), 1..40)
+    ) {
+        let grid = Grid::square(4).unwrap();
+        let cap = 4;
+        let mut env = RouterlessEnv::new(grid, cap);
+        for (x1, y1, x2, y2, cw) in actions {
+            let dir = if cw { Direction::Clockwise } else { Direction::Counterclockwise };
+            let before = env.topology().loops().len();
+            let r = env.apply(LoopAction::new(x1, y1, x2, y2, dir));
+            let after = env.topology().loops().len();
+            if r == 0.0 {
+                prop_assert_eq!(after, before + 1, "valid actions add exactly one loop");
+            } else {
+                prop_assert_eq!(after, before, "penalized actions leave the design unchanged");
+                prop_assert!(r == -1.0 || r == -20.0, "reward {} outside taxonomy", r);
+            }
+            prop_assert!(env.topology().max_overlap() <= cap);
+        }
+    }
+
+    /// Discounted returns are bounded by the undiscounted reward sums.
+    #[test]
+    fn episode_returns_bounds(rewards in prop::collection::vec(-5.0f64..5.0, 1..30), bonus in -10.0f64..10.0) {
+        use rlnoc::drl::policy::{Episode, Step};
+        let steps = rewards.iter().map(|&r| Step {
+            state: Tensor::zeros(&[1]),
+            action: 0u8,
+            reward: r,
+        }).collect::<Vec<_>>();
+        let ep = Episode { steps, final_return: bonus };
+        let g = ep.returns(0.9);
+        prop_assert_eq!(g.len(), rewards.len());
+        // The last return is exactly last reward + bonus.
+        let last = *g.last().unwrap();
+        prop_assert!((last - (rewards.last().unwrap() + bonus)).abs() < 1e-9);
+        // Each return satisfies the Bellman recursion.
+        for i in 0..g.len() - 1 {
+            prop_assert!((g[i] - (rewards[i] + 0.9 * g[i + 1])).abs() < 1e-9);
+        }
+    }
+
+    /// Synthetic traffic destinations are always in range and never self.
+    #[test]
+    fn traffic_destinations_valid(w in 2usize..8, h in 2usize..8, seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let grid = Grid::new(w, h).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for pattern in Pattern::ALL {
+            for src in grid.nodes() {
+                let d = pattern.dest(&grid, src, &mut rng);
+                prop_assert!(d < grid.len());
+                prop_assert_ne!(d, src);
+            }
+        }
+    }
+
+    /// Tensor matmul distributes over addition: (A+B)C = AC + BC.
+    #[test]
+    fn matmul_distributes(
+        a in prop::collection::vec(-3.0f32..3.0, 6),
+        b in prop::collection::vec(-3.0f32..3.0, 6),
+        c in prop::collection::vec(-3.0f32..3.0, 6),
+    ) {
+        let a = Tensor::from_vec(a, &[2, 3]).unwrap();
+        let b = Tensor::from_vec(b, &[2, 3]).unwrap();
+        let c = Tensor::from_vec(c, &[3, 2]).unwrap();
+        let lhs = a.add(&b).matmul(&c);
+        let rhs = a.matmul(&c).add(&b.matmul(&c));
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3, "{} vs {}", x, y);
+        }
+    }
+
+    /// Softmax is a distribution and invariant to logit shifts.
+    #[test]
+    fn softmax_properties(logits in prop::collection::vec(-20.0f32..20.0, 1..12), shift in -10.0f32..10.0) {
+        use rlnoc::nn::loss::softmax;
+        let p = softmax(&logits);
+        let sum: f32 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let shifted: Vec<f32> = logits.iter().map(|&l| l + shift).collect();
+        let q = softmax(&shifted);
+        for (x, y) in p.iter().zip(&q) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+}
+
+proptest! {
+    // Simulation properties are slower; run fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Conservation: at low load on a connected topology, every measured
+    /// packet is delivered and the network drains.
+    #[test]
+    fn simulation_conserves_packets(seed in any::<u64>()) {
+        use rlnoc::baselines::rec_topology;
+        use rlnoc::sim::{run_synthetic, Network, RouterlessSim, SimConfig};
+        let grid = Grid::square(4).unwrap();
+        let topo = rec_topology(grid).unwrap();
+        let mut sim = RouterlessSim::new(&topo);
+        let cfg = SimConfig { warmup: 100, measure: 800, drain: 800, ..SimConfig::routerless() };
+        let m = run_synthetic(&mut sim, Pattern::UniformRandom, 0.02, &cfg, seed);
+        prop_assert!(m.delivery_ratio() > 0.99);
+        prop_assert_eq!(sim.in_flight(), 0);
+    }
+}

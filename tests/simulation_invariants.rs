@@ -1,0 +1,169 @@
+//! Deeper simulator invariants: conservation under stress, ordering,
+//! cross-fabric consistency, and workload/power integration.
+
+use proptest::prelude::*;
+use rlnoc::baselines::rec_topology;
+use rlnoc::drl::rollout::{greedy_rollout, skeleton_topology};
+use rlnoc::power::{Fabric, PowerModel};
+use rlnoc::sim::traffic::Pattern;
+use rlnoc::sim::{run_synthetic, MeshSim, Network, RouterlessSim, SimConfig};
+use rlnoc::topology::{Grid, RoutingPolicy, RoutingTable};
+
+fn cfg(data_flits: usize, measure: u64) -> SimConfig {
+    SimConfig {
+        warmup: 200,
+        measure,
+        drain: 3_000,
+        data_flits,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn mesh_conserves_packets_even_when_saturated() {
+    // Offered load far beyond saturation: whatever was measured and
+    // delivered must satisfy delivered ≤ offered, and the network must
+    // not lose flits (in_flight only counts what is still queued).
+    let g = Grid::square(4).unwrap();
+    let mut sim = MeshSim::mesh2(g);
+    let m = run_synthetic(&mut sim, Pattern::Transpose, 0.8, &cfg(3, 2_000), 3);
+    assert!(m.packets <= m.packets_offered);
+    assert!(m.accepted_throughput() > 0.0);
+    // After the drain window, anything still in flight is backlog, not
+    // corruption: total accounted = delivered + in_flight + source queues.
+    // (in_flight() includes queued packets.)
+    // No panic and monotone counters are the invariant here.
+}
+
+#[test]
+fn routerless_saturation_invariant_to_measure_window() {
+    // Metrics should be roughly stable across measurement windows (no
+    // warm-up leakage): compare 2k vs 6k cycles at mid load.
+    let topo = rec_topology(Grid::square(4).unwrap()).unwrap();
+    let a = run_synthetic(
+        &mut RouterlessSim::new(&topo),
+        Pattern::UniformRandom,
+        0.10,
+        &cfg(5, 2_000),
+        9,
+    );
+    let b = run_synthetic(
+        &mut RouterlessSim::new(&topo),
+        Pattern::UniformRandom,
+        0.10,
+        &cfg(5, 6_000),
+        9,
+    );
+    let rel = (a.avg_packet_latency() - b.avg_packet_latency()).abs() / b.avg_packet_latency();
+    assert!(rel < 0.15, "latency drifts {rel:.2} across windows");
+}
+
+#[test]
+fn skeleton_design_simulates_correctly() {
+    // The cap-N skeleton is a valid runtime artifact, not just a
+    // combinatorial object: all traffic delivered, hops match the table.
+    let g = Grid::square(6).unwrap();
+    let topo = skeleton_topology(g);
+    let table = RoutingTable::build(&topo);
+    assert!(table.is_complete());
+    let mut sim = RouterlessSim::new(&topo);
+    let m = run_synthetic(&mut sim, Pattern::UniformRandom, 0.05, &cfg(5, 3_000), 4);
+    assert!(m.delivery_ratio() > 0.99);
+    assert!(
+        (m.avg_hops() - table.average_hops().unwrap()).abs() < 1.0,
+        "simulated {} vs table {}",
+        m.avg_hops(),
+        table.average_hops().unwrap()
+    );
+}
+
+#[test]
+fn balanced_routing_never_loses_packets() {
+    let topo = greedy_rollout(Grid::square(6).unwrap(), 10);
+    for policy in [
+        RoutingPolicy::Shortest,
+        RoutingPolicy::Balanced { slack: 0 },
+        RoutingPolicy::Balanced { slack: 3 },
+    ] {
+        let table = RoutingTable::build_with(&topo, policy);
+        let mut sim = RouterlessSim::with_routing(&topo, table);
+        let m = run_synthetic(&mut sim, Pattern::Transpose, 0.08, &cfg(5, 2_000), 6);
+        assert!(
+            m.delivery_ratio() > 0.99,
+            "{policy:?} lost packets: {}",
+            m.delivery_ratio()
+        );
+        assert_eq!(sim.in_flight(), 0, "{policy:?} failed to drain");
+    }
+}
+
+#[test]
+fn power_model_orders_fabrics_like_the_paper() {
+    // Same workload through mesh and DRL: total power must favour the
+    // routerless design by a wide margin (paper: ~5x).
+    let g = Grid::square(8).unwrap();
+    let drl = greedy_rollout(g, 14);
+    let pattern = Pattern::UniformRandom;
+    let m_mesh = run_synthetic(&mut MeshSim::mesh2(g), pattern, 0.05, &cfg(3, 3_000), 5);
+    let m_drl = run_synthetic(&mut RouterlessSim::new(&drl), pattern, 0.05, &cfg(5, 3_000), 5);
+    let power = PowerModel::default();
+    let p_mesh = power.from_metrics(Fabric::Mesh, &m_mesh).total_mw();
+    let p_drl = power
+        .from_metrics(Fabric::Routerless { overlap: 14 }, &m_drl)
+        .total_mw();
+    let ratio = p_mesh / p_drl;
+    assert!(
+        (3.0..=8.0).contains(&ratio),
+        "mesh/DRL power ratio {ratio:.2} out of the paper's regime"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Mesh never deadlocks at random moderate loads and patterns.
+    #[test]
+    fn mesh_drains_for_random_loads(
+        seed in any::<u64>(),
+        rate_milli in 10u32..120,
+        pat_idx in 0usize..6,
+    ) {
+        let g = Grid::square(4).unwrap();
+        let pattern = Pattern::ALL[pat_idx];
+        let mut sim = MeshSim::mesh1(g);
+        let rate = f64::from(rate_milli) / 1000.0;
+        let m = run_synthetic(&mut sim, pattern, rate, &cfg(3, 1_200), seed);
+        // Everything measured is eventually delivered or still queued at
+        // the sources — but at these loads the drain must finish.
+        prop_assert!(m.delivery_ratio() > 0.9, "{pattern:?}@{rate}: {}", m.delivery_ratio());
+    }
+
+    /// Routerless delivery latency is bounded below by hop count plus
+    /// serialization for every delivered packet (no time travel).
+    #[test]
+    fn routerless_latency_lower_bound(seed in any::<u64>()) {
+        use rlnoc::sim::{Packet, PacketKind};
+        let topo = rec_topology(Grid::square(4).unwrap()).unwrap();
+        let table = RoutingTable::build(&topo);
+        let mut sim = RouterlessSim::new(&topo);
+        let src = (seed % 16) as usize;
+        let dst = ((seed / 16) % 16) as usize;
+        prop_assume!(src != dst);
+        let flits = 1 + (seed % 5) as usize;
+        sim.offer(Packet {
+            id: 1, src, dst, kind: PacketKind::Data, flits, created: 0, measured: true,
+        });
+        let mut delivered = None;
+        for cycle in 0..200 {
+            sim.tick(cycle);
+            if let Some(d) = sim.take_deliveries().pop() {
+                delivered = Some(d);
+                break;
+            }
+        }
+        let d = delivered.expect("connected topology must deliver");
+        let min_hops = table.route(src, dst).unwrap().hops as u64;
+        prop_assert!(d.delivered >= min_hops + flits as u64 - 1);
+        prop_assert_eq!(d.hops, min_hops);
+    }
+}
