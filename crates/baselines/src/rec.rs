@@ -170,7 +170,7 @@ fn layer_loops(l: Layer) -> Vec<RectLoop> {
         Direction::Counterclockwise
     }));
     let parity_dir = |i: usize| {
-        if i % 2 == 0 {
+        if i.is_multiple_of(2) {
             Direction::Clockwise
         } else {
             Direction::Counterclockwise
@@ -279,7 +279,23 @@ mod tests {
         let g = Grid::square(8).unwrap();
         let ls = layers(&g);
         assert_eq!(ls.len(), 4);
-        assert_eq!(ls[0], Layer { ax: 0, ay: 0, bx: 7, by: 7 });
-        assert_eq!(ls[3], Layer { ax: 3, ay: 3, bx: 4, by: 4 });
+        assert_eq!(
+            ls[0],
+            Layer {
+                ax: 0,
+                ay: 0,
+                bx: 7,
+                by: 7
+            }
+        );
+        assert_eq!(
+            ls[3],
+            Layer {
+                ax: 3,
+                ay: 3,
+                bx: 4,
+                by: 4
+            }
+        );
     }
 }

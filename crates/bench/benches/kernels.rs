@@ -60,7 +60,9 @@ fn bench_mcts(c: &mut Criterion) {
     for i in 0..200u32 {
         tree.backup(&[(1, i % 500)], &[f64::from(i % 7)]);
     }
-    c.bench_function("mcts/select_500_edges", |b| b.iter(|| black_box(tree.select(1))));
+    c.bench_function("mcts/select_500_edges", |b| {
+        b.iter(|| black_box(tree.select(1)))
+    });
     c.bench_function("mcts/backup_depth_50", |b| {
         let path: Vec<(u64, u32)> = (0..50).map(|i| (i, (i % 500) as u32)).collect();
         let returns = vec![1.0; 50];
@@ -86,6 +88,73 @@ fn bench_nn(c: &mut Criterion) {
             net.zero_grad();
         })
     });
+
+    // The paper's full Figure 6(c) architecture at its three reported grid
+    // sizes. Single-threaded matmul so runs are comparable across hosts.
+    rlnoc_nn::kernels::set_matmul_threads(1);
+    for n in [4usize, 8, 10] {
+        let cfg = PolicyValueConfig::paper(n);
+        let side = cfg.input_side;
+        let mut net = PolicyValueNet::new(cfg, 1);
+        let x = Tensor::zeros(&[1, 1, side, side]);
+        c.bench_function(&format!("nn/forward_paper_{n}x{n}"), |b| {
+            b.iter(|| black_box(net.forward(black_box(&x), false)))
+        });
+    }
+    rlnoc_nn::kernels::set_matmul_threads(0);
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    // Blocked GEMM vs the retained naive oracle at a net-realistic shape
+    // (single-threaded, so the ratio reflects blocking alone).
+    rlnoc_nn::kernels::set_matmul_threads(1);
+    let (m, k, n) = (256, 512, 256);
+    let a = Tensor::from_vec(
+        (0..m * k).map(|v| (v as f32 * 0.37).sin()).collect(),
+        &[m, k],
+    )
+    .unwrap();
+    let b_mat = Tensor::from_vec(
+        (0..k * n).map(|v| (v as f32 * 0.23).cos()).collect(),
+        &[k, n],
+    )
+    .unwrap();
+    c.bench_function("matmul/blocked_256x512x256", |b| {
+        b.iter(|| black_box(black_box(&a).matmul(black_box(&b_mat))))
+    });
+    c.bench_function("matmul/naive_256x512x256", |b| {
+        b.iter(|| {
+            black_box(rlnoc_nn::reference::matmul_naive(
+                black_box(&a),
+                black_box(&b_mat),
+            ))
+        })
+    });
+
+    // Convolution at the paper-8x8 net's stage-2 shape: im2col+GEMM vs the
+    // direct 7-deep loop nest.
+    use rlnoc_nn::layers::{Conv2d, Layer};
+    let x = Tensor::from_vec(
+        (0..16 * 32 * 32).map(|v| (v as f32 * 0.11).sin()).collect(),
+        &[1, 16, 32, 32],
+    )
+    .unwrap();
+    let mut conv = Conv2d::new(16, 32, 3, 0);
+    c.bench_function("conv/im2col_16c_to_32c_32x32", |b| {
+        b.iter(|| black_box(conv.forward(black_box(&x), false)))
+    });
+    let w = Tensor::zeros(&[32, 16, 3, 3]);
+    let bias = Tensor::zeros(&[32]);
+    c.bench_function("conv/naive_16c_to_32c_32x32", |b| {
+        b.iter(|| {
+            black_box(rlnoc_nn::reference::conv2d_naive(
+                black_box(&x),
+                black_box(&w),
+                black_box(&bias),
+            ))
+        })
+    });
+    rlnoc_nn::kernels::set_matmul_threads(0);
 }
 
 fn bench_sim(c: &mut Criterion) {
@@ -95,8 +164,7 @@ fn bench_sim(c: &mut Criterion) {
     c.bench_function("sim/routerless_1k_cycles_8x8", |b| {
         b.iter(|| {
             let mut sim = RouterlessSim::new(&topo);
-            let mut gen =
-                rlnoc_sim::traffic::TrafficGen::new(grid, Pattern::UniformRandom, 0.1, 3);
+            let mut gen = rlnoc_sim::traffic::TrafficGen::new(grid, Pattern::UniformRandom, 0.1, 3);
             for cycle in 0..1_000u64 {
                 for p in rlnoc_sim::PacketSource::generate(&mut gen, cycle, &cfg, false) {
                     sim.offer(p);
@@ -109,8 +177,7 @@ fn bench_sim(c: &mut Criterion) {
     c.bench_function("sim/mesh2_1k_cycles_8x8", |b| {
         b.iter(|| {
             let mut sim = MeshSim::mesh2(grid);
-            let mut gen =
-                rlnoc_sim::traffic::TrafficGen::new(grid, Pattern::UniformRandom, 0.1, 3);
+            let mut gen = rlnoc_sim::traffic::TrafficGen::new(grid, Pattern::UniformRandom, 0.1, 3);
             let mcfg = SimConfig::mesh();
             for cycle in 0..1_000u64 {
                 for p in rlnoc_sim::PacketSource::generate(&mut gen, cycle, &mcfg, false) {
@@ -139,6 +206,6 @@ fn bench_construction(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_hop_matrix, bench_greedy, bench_mcts, bench_nn, bench_sim, bench_construction
+    targets = bench_hop_matrix, bench_greedy, bench_mcts, bench_nn, bench_kernels, bench_sim, bench_construction
 }
 criterion_main!(benches);

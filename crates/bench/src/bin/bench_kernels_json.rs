@@ -1,0 +1,213 @@
+//! Machine-readable kernel throughput snapshot.
+//!
+//! Times the hot inference paths behind every experiment — blocked GEMM,
+//! im2col convolution, the full policy/value forward at the paper's grid
+//! sizes, and cached vs uncached exploration cycles — against the retained
+//! naive reference kernels, then writes everything to `BENCH_kernels.json`
+//! so perf changes across commits are diffable.
+//!
+//! All kernel timings pin the matmul to a single thread; the parallel path
+//! only adds on top and would make runs incomparable across hosts.
+//!
+//! Usage: `bench_kernels_json [out_path]` (default `BENCH_kernels.json`).
+
+use rlnoc_core::explorer::ExplorerConfig;
+use rlnoc_core::parallel::explore_parallel;
+use rlnoc_core::routerless::RouterlessEnv;
+use rlnoc_nn::layers::{Conv2d, Layer, MaxPool2d};
+use rlnoc_nn::{reference, PolicyValueConfig, PolicyValueNet, Tensor};
+use rlnoc_topology::Grid;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Mean seconds per call: one warmup, then repeat until both `MIN_REPS`
+/// calls and `MIN_SECS` of wall clock have accumulated.
+fn time_secs(mut f: impl FnMut()) -> f64 {
+    const MIN_REPS: u32 = 3;
+    const MIN_SECS: f64 = 0.25;
+    f();
+    let start = Instant::now();
+    let mut reps = 0u32;
+    while reps < MIN_REPS || start.elapsed().as_secs_f64() < MIN_SECS {
+        f();
+        reps += 1;
+    }
+    start.elapsed().as_secs_f64() / f64::from(reps)
+}
+
+fn wave(len: usize, step: f32) -> Vec<f32> {
+    (0..len).map(|v| (v as f32 * step).sin()).collect()
+}
+
+/// Every convolution shape `(in_c, out_c, k, side)` in the paper network,
+/// derived from its config: stem + residual pair per stage, three head
+/// convs at the final side.
+fn conv_shapes(cfg: &PolicyValueConfig) -> Vec<(usize, usize, usize, usize)> {
+    let mut shapes = Vec::new();
+    let mut side = cfg.input_side;
+    let mut prev = 1;
+    for (i, &c) in cfg.channels.iter().enumerate() {
+        let k = if i == 0 { cfg.stem_kernel } else { 3 };
+        shapes.push((prev, c, k, side));
+        shapes.push((c, c, 3, side)); // residual block
+        shapes.push((c, c, 3, side));
+        if i + 1 < cfg.channels.len() {
+            side = MaxPool2d::out_side(side);
+        }
+        prev = c;
+    }
+    for _ in 0..3 {
+        shapes.push((prev, 2, 3, side)); // coord / dir / value heads
+    }
+    shapes
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    rlnoc_nn::kernels::set_matmul_threads(1);
+
+    // --- Blocked GEMM vs naive oracle -----------------------------------
+    let (m, k, n) = (256usize, 512, 256);
+    let a = Tensor::from_vec(wave(m * k, 0.37), &[m, k]).unwrap();
+    let b = Tensor::from_vec(wave(k * n, 0.23), &[k, n]).unwrap();
+    let matmul_blocked = time_secs(|| {
+        black_box(black_box(&a).matmul(black_box(&b)));
+    });
+    let matmul_naive = time_secs(|| {
+        black_box(reference::matmul_naive(black_box(&a), black_box(&b)));
+    });
+
+    // --- im2col conv vs naive at the paper-8x8 stage-2 shape ------------
+    let x = Tensor::from_vec(wave(16 * 32 * 32, 0.11), &[1, 16, 32, 32]).unwrap();
+    let mut conv = Conv2d::new(16, 32, 3, 0);
+    let conv_im2col = time_secs(|| {
+        black_box(conv.forward(black_box(&x), false));
+    });
+    let w = Tensor::from_vec(wave(32 * 16 * 9, 0.19), &[32, 16, 3, 3]).unwrap();
+    let bias = Tensor::zeros(&[32]);
+    let conv_naive = time_secs(|| {
+        black_box(reference::conv2d_naive(
+            black_box(&x),
+            black_box(&w),
+            black_box(&bias),
+        ));
+    });
+
+    // --- Full net forward at the paper's grid sizes ---------------------
+    let mut net_rows = String::new();
+    let mut forward_8x8 = f64::NAN;
+    for grid_n in [4usize, 8, 10] {
+        let cfg = PolicyValueConfig::paper(grid_n);
+        let side = cfg.input_side;
+        let mut net = PolicyValueNet::new(cfg, 1);
+        let state = Tensor::zeros(&[1, 1, side, side]);
+        let secs = time_secs(|| {
+            black_box(net.forward(black_box(&state), false));
+        });
+        if grid_n == 8 {
+            forward_8x8 = secs;
+        }
+        let _ = write!(
+            net_rows,
+            "{}\n    \"paper_{grid_n}x{grid_n}\": {{ \"ms_per_forward\": {:.3}, \"forwards_per_sec\": {:.2} }}",
+            if net_rows.is_empty() { "" } else { "," },
+            secs * 1e3,
+            1.0 / secs
+        );
+    }
+
+    // --- Naive-equivalent forward at paper 8x8 --------------------------
+    // Replace each convolution's measured time with the naive loop nest's
+    // time for the identical shape; everything else in the forward is
+    // unchanged, so this estimates what the pre-im2col network cost.
+    let cfg8 = PolicyValueConfig::paper(8);
+    let mut conv_opt_total = 0.0f64;
+    let mut conv_naive_total = 0.0f64;
+    for &(ic, oc, kk, side) in &conv_shapes(&cfg8) {
+        let x = Tensor::from_vec(wave(ic * side * side, 0.13), &[1, ic, side, side]).unwrap();
+        let mut c = Conv2d::new(ic, oc, kk, 0);
+        conv_opt_total += time_secs(|| {
+            black_box(c.forward(black_box(&x), false));
+        });
+        let w = Tensor::from_vec(wave(oc * ic * kk * kk, 0.29), &[oc, ic, kk, kk]).unwrap();
+        let bias = Tensor::zeros(&[oc]);
+        conv_naive_total += time_secs(|| {
+            black_box(reference::conv2d_naive(
+                black_box(&x),
+                black_box(&w),
+                black_box(&bias),
+            ));
+        });
+    }
+    let forward_8x8_naive_est = forward_8x8 - conv_opt_total + conv_naive_total;
+    let forward_speedup = forward_8x8_naive_est / forward_8x8;
+
+    // --- Cached vs uncached exploration cycles --------------------------
+    rlnoc_nn::kernels::set_matmul_threads(0);
+    let env = RouterlessEnv::new(Grid::square(4).unwrap(), 6);
+    let cycles = 6usize;
+    let mut cached_cfg = ExplorerConfig::fast();
+    cached_cfg.eval_cache_capacity = 4096;
+    let mut uncached_cfg = cached_cfg.clone();
+    uncached_cfg.eval_cache_capacity = 0;
+
+    let start = Instant::now();
+    let cached_report = explore_parallel(&env, &cached_cfg, 1, cycles, 7);
+    let cached_secs = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let _ = explore_parallel(&env, &uncached_cfg, 1, cycles, 7);
+    let uncached_secs = start.elapsed().as_secs_f64();
+    let stats = cached_report.cache_stats;
+
+    let json = format!(
+        r#"{{
+  "matmul": {{
+    "shape": [{m}, {k}, {n}],
+    "blocked_ops_per_sec": {:.2},
+    "naive_ops_per_sec": {:.2},
+    "speedup": {:.2}
+  }},
+  "conv_forward": {{
+    "shape": "1x16x32x32 -> 32c, k3",
+    "im2col_ops_per_sec": {:.2},
+    "naive_ops_per_sec": {:.2},
+    "speedup": {:.2}
+  }},
+  "net_forward": {{{net_rows},
+    "paper_8x8_naive_est_ms": {:.3},
+    "paper_8x8_speedup_vs_naive": {:.2}
+  }},
+  "explorer_cycles": {{
+    "grid": "4x4",
+    "cycles": {cycles},
+    "cached_cycles_per_sec": {:.3},
+    "uncached_cycles_per_sec": {:.3},
+    "cache_hits": {},
+    "cache_misses": {},
+    "cache_hit_rate": {:.3}
+  }}
+}}
+"#,
+        1.0 / matmul_blocked,
+        1.0 / matmul_naive,
+        matmul_naive / matmul_blocked,
+        1.0 / conv_im2col,
+        1.0 / conv_naive,
+        conv_naive / conv_im2col,
+        forward_8x8_naive_est * 1e3,
+        forward_speedup,
+        cycles as f64 / cached_secs,
+        cycles as f64 / uncached_secs,
+        stats.hits,
+        stats.misses,
+        stats.hit_rate(),
+    );
+    print!("{json}");
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("(wrote {out_path})"),
+        Err(e) => eprintln!("warning: could not write {out_path}: {e}"),
+    }
+}

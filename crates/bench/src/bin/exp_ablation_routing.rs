@@ -64,7 +64,13 @@ fn main() {
         }
     }
 
-    let headers = ["pattern", "routing", "table_hops", "zero_load_latency", "saturation"];
+    let headers = [
+        "pattern",
+        "routing",
+        "table_hops",
+        "zero_load_latency",
+        "saturation",
+    ];
     print_table(
         &format!("Ablation: routing policy on the {n}x{n} DRL design"),
         &headers,

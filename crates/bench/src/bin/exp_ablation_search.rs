@@ -21,7 +21,7 @@ use rlnoc_core::mcts::Mcts;
 use rlnoc_core::policy::{PolicyAgent, TrainConfig};
 use rlnoc_core::replay::{train_on_replay, ReplayBuffer};
 use rlnoc_core::routerless::RouterlessEnv;
-use rlnoc_core::Environment;
+use rlnoc_core::{Environment, NoCache};
 use rlnoc_topology::Grid;
 
 struct Outcome {
@@ -61,9 +61,17 @@ fn run_replay(env: &RouterlessEnv, config: &ExplorerConfig, cycles: usize, seed:
     // source of actions, so we reuse the episode runner with an empty tree
     // per cycle (no knowledge carries over — that is the ablation).
     let mut results = Vec::new();
+    let mut cache = NoCache;
     for _ in 0..cycles {
         let mut blank_tree = Mcts::new(config.mcts);
-        let (episode, _path) = run_episode(&mut env, &mut agent, &mut blank_tree, config, &mut rng);
+        let (episode, _path) = run_episode(
+            &mut env,
+            &mut agent,
+            &mut blank_tree,
+            &mut cache,
+            config,
+            &mut rng,
+        );
         buffer.push_episode(&env, &episode, config.train.gamma);
         for _ in 0..4 {
             train_on_replay(&mut agent, &buffer, 16, &mut rng);

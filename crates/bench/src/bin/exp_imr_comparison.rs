@@ -57,7 +57,11 @@ fn main() {
     ] {
         rows.push(vec![
             s(name),
-            if connected { f3(topo.average_hops()) } else { s("disconnected") },
+            if connected {
+                f3(topo.average_hops())
+            } else {
+                s("disconnected")
+            },
             s(topo.loops().len()),
             s(topo.max_overlap()),
             s(topo.max_overlap() <= cap),

@@ -41,12 +41,20 @@ fn main() {
             .collect();
         let mean = hops.iter().sum::<f64>() / hops.len().max(1) as f64;
         let sd = if hops.len() > 1 {
-            (hops.iter().map(|h| (h - mean) * (h - mean)).sum::<f64>()
-                / (hops.len() - 1) as f64)
+            (hops.iter().map(|h| (h - mean) * (h - mean)).sum::<f64>() / (hops.len() - 1) as f64)
                 .sqrt()
         } else {
             0.0
         };
+        // Each TrainStats covers one episode's batched forward/backward, so
+        // its step count is that update's batch size.
+        let mean_batch = report
+            .train_history
+            .iter()
+            .map(|st| st.steps as f64)
+            .sum::<f64>()
+            / report.train_history.len().max(1) as f64;
+        let cache = report.cache_stats;
         rows.push(vec![
             s(t),
             s(cycles),
@@ -55,6 +63,10 @@ fn main() {
             f3(sd),
             format!("{elapsed:.1}s"),
             format!("{:.1}s", elapsed / hops.len().max(1) as f64),
+            f3(mean_batch),
+            s(cache.hits),
+            s(cache.misses),
+            format!("{:.0}%", cache.hit_rate() * 100.0),
         ]);
     }
 
@@ -66,6 +78,10 @@ fn main() {
         "sd_hops",
         "wall",
         "wall_per_valid",
+        "mean_batch",
+        "cache_hits",
+        "cache_miss",
+        "hit_rate",
     ];
     print_table(
         &format!("§6.1: single vs multi-threaded exploration, {n}x{n} cap {cap}"),

@@ -4,8 +4,8 @@
 //! REC vs 3.79 in DRL at equal overlap, so DRL tolerates more link
 //! failures.
 
-use rlnoc_bench::{drl_topology, f3, print_table, s, write_csv, Effort};
 use rlnoc_baselines::rec_topology;
+use rlnoc_bench::{drl_topology, f3, print_table, s, write_csv, Effort};
 use rlnoc_topology::{diversity, Grid};
 
 fn main() {
@@ -33,6 +33,10 @@ fn main() {
         "survivable_loop_failures",
         "paper_avg_diversity",
     ];
-    print_table("§6.7: reliability / path diversity, 8x8 overlap 14", &headers, &rows);
+    print_table(
+        "§6.7: reliability / path diversity, 8x8 overlap 14",
+        &headers,
+        &rows,
+    );
     write_csv("exp_reliability", &headers, &rows);
 }

@@ -6,8 +6,8 @@
 //! (defaults 10, 3000, 0.02; the paper uses 100k cycles and step 0.005 —
 //! pass those for a full-fidelity run).
 
-use rlnoc_bench::{drl_topology, print_table, s, write_csv, Effort};
 use rlnoc_baselines::rec_topology;
+use rlnoc_bench::{drl_topology, print_table, s, write_csv, Effort};
 use rlnoc_sim::sweep::latency_sweep;
 use rlnoc_sim::traffic::Pattern;
 use rlnoc_sim::{MeshSim, RouterlessSim, SimConfig};
@@ -41,19 +41,55 @@ fn main() {
         let sweeps: Vec<(&str, rlnoc_sim::sweep::SweepResult)> = vec![
             (
                 "Mesh-2",
-                latency_sweep(|| MeshSim::mesh2(grid), pattern, &mesh_cfg, 0.005, step, 1.0, 4.0, 2),
+                latency_sweep(
+                    || MeshSim::mesh2(grid),
+                    pattern,
+                    &mesh_cfg,
+                    0.005,
+                    step,
+                    1.0,
+                    4.0,
+                    2,
+                ),
             ),
             (
                 "Mesh-1",
-                latency_sweep(|| MeshSim::mesh1(grid), pattern, &mesh_cfg, 0.005, step, 1.0, 4.0, 2),
+                latency_sweep(
+                    || MeshSim::mesh1(grid),
+                    pattern,
+                    &mesh_cfg,
+                    0.005,
+                    step,
+                    1.0,
+                    4.0,
+                    2,
+                ),
             ),
             (
                 "REC",
-                latency_sweep(|| RouterlessSim::new(&rec), pattern, &rl_cfg, 0.005, step, 1.0, 4.0, 2),
+                latency_sweep(
+                    || RouterlessSim::new(&rec),
+                    pattern,
+                    &rl_cfg,
+                    0.005,
+                    step,
+                    1.0,
+                    4.0,
+                    2,
+                ),
             ),
             (
                 "DRL",
-                latency_sweep(|| RouterlessSim::new(&drl), pattern, &rl_cfg, 0.005, step, 1.0, 4.0, 2),
+                latency_sweep(
+                    || RouterlessSim::new(&drl),
+                    pattern,
+                    &rl_cfg,
+                    0.005,
+                    step,
+                    1.0,
+                    4.0,
+                    2,
+                ),
             ),
         ];
         for (name, sweep) in &sweeps {

@@ -3,8 +3,8 @@
 //!
 //! Usage: `fig11_parsec_latency [measure_cycles]` (default 15000).
 
-use rlnoc_bench::{drl_topology, print_table, s, write_csv, Effort};
 use rlnoc_baselines::rec_topology;
+use rlnoc_bench::{drl_topology, print_table, s, write_csv, Effort};
 use rlnoc_sim::{MeshSim, RouterlessSim, SimConfig};
 use rlnoc_topology::Grid;
 use rlnoc_workloads::{run_benchmark, Benchmark};
@@ -38,17 +38,48 @@ fn main() {
             rows.push(vec![
                 format!("{n}x{n}"),
                 s(bench),
-                lat(run_benchmark(&mut MeshSim::mesh2(grid), *bench, &mesh_cfg, seed)),
-                lat(run_benchmark(&mut MeshSim::mesh1(grid), *bench, &mesh_cfg, seed)),
-                lat(run_benchmark(&mut MeshSim::mesh0(grid), *bench, &mesh_cfg, seed)),
-                lat(run_benchmark(&mut RouterlessSim::new(&rec), *bench, &rl_cfg, seed)),
-                lat(run_benchmark(&mut RouterlessSim::new(&drl), *bench, &rl_cfg, seed)),
+                lat(run_benchmark(
+                    &mut MeshSim::mesh2(grid),
+                    *bench,
+                    &mesh_cfg,
+                    seed,
+                )),
+                lat(run_benchmark(
+                    &mut MeshSim::mesh1(grid),
+                    *bench,
+                    &mesh_cfg,
+                    seed,
+                )),
+                lat(run_benchmark(
+                    &mut MeshSim::mesh0(grid),
+                    *bench,
+                    &mesh_cfg,
+                    seed,
+                )),
+                lat(run_benchmark(
+                    &mut RouterlessSim::new(&rec),
+                    *bench,
+                    &rl_cfg,
+                    seed,
+                )),
+                lat(run_benchmark(
+                    &mut RouterlessSim::new(&drl),
+                    *bench,
+                    &rl_cfg,
+                    seed,
+                )),
             ]);
         }
     }
 
-    let headers = ["size", "workload", "Mesh-2", "Mesh-1", "Mesh-0", "REC", "DRL"];
-    print_table("Figure 11: PARSEC average packet latency (cycles)", &headers, &rows);
+    let headers = [
+        "size", "workload", "Mesh-2", "Mesh-1", "Mesh-0", "REC", "DRL",
+    ];
+    print_table(
+        "Figure 11: PARSEC average packet latency (cycles)",
+        &headers,
+        &rows,
+    );
     write_csv("fig11_parsec_latency", &headers, &rows);
     println!(
         "\nPaper reference (8x8 averages): DRL reduces latency by 60.0% / 46.2% / 27.7% / 13.5%\n\

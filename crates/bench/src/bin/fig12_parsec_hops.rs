@@ -3,8 +3,8 @@
 //!
 //! Usage: `fig12_parsec_hops [measure_cycles]` (default 15000).
 
-use rlnoc_bench::{drl_topology, print_table, s, write_csv, Effort};
 use rlnoc_baselines::rec_topology;
+use rlnoc_bench::{drl_topology, print_table, s, write_csv, Effort};
 use rlnoc_sim::{MeshSim, RouterlessSim, SimConfig};
 use rlnoc_topology::Grid;
 use rlnoc_workloads::{run_benchmark, Benchmark};
@@ -38,9 +38,24 @@ fn main() {
             rows.push(vec![
                 format!("{n}x{n}"),
                 s(bench),
-                hops(run_benchmark(&mut MeshSim::mesh2(grid), *bench, &mesh_cfg, seed)),
-                hops(run_benchmark(&mut RouterlessSim::new(&rec), *bench, &rl_cfg, seed)),
-                hops(run_benchmark(&mut RouterlessSim::new(&drl), *bench, &rl_cfg, seed)),
+                hops(run_benchmark(
+                    &mut MeshSim::mesh2(grid),
+                    *bench,
+                    &mesh_cfg,
+                    seed,
+                )),
+                hops(run_benchmark(
+                    &mut RouterlessSim::new(&rec),
+                    *bench,
+                    &rl_cfg,
+                    seed,
+                )),
+                hops(run_benchmark(
+                    &mut RouterlessSim::new(&drl),
+                    *bench,
+                    &rl_cfg,
+                    seed,
+                )),
             ]);
         }
     }

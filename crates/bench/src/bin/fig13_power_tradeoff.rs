@@ -8,8 +8,8 @@
 //! Usage: `fig13_power_tradeoff [rate] [measure_cycles]`
 //! (defaults 0.05 flits/node/cycle, 5000 cycles).
 
-use rlnoc_bench::{drl_topology, f3, print_table, s, write_csv, Effort};
 use rlnoc_baselines::rec_topology;
+use rlnoc_bench::{drl_topology, f3, print_table, s, write_csv, Effort};
 use rlnoc_power::{Fabric, PowerModel};
 use rlnoc_sim::traffic::Pattern;
 use rlnoc_sim::{run_synthetic, RouterlessSim, SimConfig};
@@ -55,7 +55,14 @@ fn main() {
     for cap in [8u32, 10, 12, 13, 14, 16, 18, 20] {
         let drl = drl_topology(grid, cap, Effort::from_env(), u64::from(cap));
         if !drl.is_fully_connected() {
-            rows.push(vec![s("DRL"), s(cap), s("not found at this search budget"), s("-"), s("-"), s("-")]);
+            rows.push(vec![
+                s("DRL"),
+                s(cap),
+                s("not found at this search budget"),
+                s("-"),
+                s("-"),
+                s("-"),
+            ]);
             continue;
         }
         let (hops, p) = measure_power(&drl, cap, u64::from(cap));
@@ -69,7 +76,14 @@ fn main() {
         ]);
     }
 
-    let headers = ["design", "overlap", "avg_hops", "static_mW", "dynamic_mW", "total_mW"];
+    let headers = [
+        "design",
+        "overlap",
+        "avg_hops",
+        "static_mW",
+        "dynamic_mW",
+        "total_mW",
+    ];
     print_table(
         &format!("Figure 13: 8x8 power-performance trade-off (uniform {rate} flits/node/cycle)"),
         &headers,

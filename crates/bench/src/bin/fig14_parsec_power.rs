@@ -3,8 +3,8 @@
 //!
 //! Usage: `fig14_parsec_power [measure_cycles]` (default 15000).
 
-use rlnoc_bench::{drl_topology, f3, print_table, s, write_csv, Effort};
 use rlnoc_baselines::rec_topology;
+use rlnoc_bench::{drl_topology, f3, print_table, s, write_csv, Effort};
 use rlnoc_power::{Fabric, PowerModel};
 use rlnoc_sim::{MeshSim, RouterlessSim, SimConfig};
 use rlnoc_topology::Grid;
@@ -83,7 +83,11 @@ fn main() {
         "DRL_static",
         "DRL_dyn",
     ];
-    print_table("Figure 14: PARSEC power per node (mW), 8x8", &headers, &rows);
+    print_table(
+        "Figure 14: PARSEC power per node (mW), 8x8",
+        &headers,
+        &rows,
+    );
     write_csv("fig14_parsec_power", &headers, &rows);
     println!(
         "\nPaper reference: static 1.23 mW (mesh) vs 0.23 mW (REC/DRL); average dynamic\n\

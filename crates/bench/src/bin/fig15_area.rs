@@ -26,7 +26,11 @@ fn main() {
         ],
     ];
     let headers = ["node", "area_um2", "paper_um2", "mesh/own"];
-    print_table("Figure 15: per-node area (um^2, 15nm, after P&R)", &headers, &rows);
+    print_table(
+        "Figure 15: per-node area (um^2, 15nm, after P&R)",
+        &headers,
+        &rows,
+    );
     write_csv("fig15_area", &headers, &rows);
 
     println!(

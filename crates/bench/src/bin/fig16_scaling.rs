@@ -4,8 +4,8 @@
 //!
 //! Usage: `fig16_scaling [measure_cycles] [step]` (defaults 3000, 0.02).
 
-use rlnoc_bench::{drl_topology, print_table, s, write_csv, Effort};
 use rlnoc_baselines::rec_topology;
+use rlnoc_bench::{drl_topology, print_table, s, write_csv, Effort};
 use rlnoc_sim::sweep::latency_sweep;
 use rlnoc_sim::traffic::Pattern;
 use rlnoc_sim::{MeshSim, RouterlessSim, SimConfig};
@@ -39,19 +39,55 @@ fn main() {
         let sweeps: Vec<(&str, rlnoc_sim::sweep::SweepResult)> = vec![
             (
                 "Mesh-2",
-                latency_sweep(|| MeshSim::mesh2(grid), Pattern::UniformRandom, &mesh_cfg, 0.005, step, 1.0, 4.0, 6),
+                latency_sweep(
+                    || MeshSim::mesh2(grid),
+                    Pattern::UniformRandom,
+                    &mesh_cfg,
+                    0.005,
+                    step,
+                    1.0,
+                    4.0,
+                    6,
+                ),
             ),
             (
                 "Mesh-1",
-                latency_sweep(|| MeshSim::mesh1(grid), Pattern::UniformRandom, &mesh_cfg, 0.005, step, 1.0, 4.0, 6),
+                latency_sweep(
+                    || MeshSim::mesh1(grid),
+                    Pattern::UniformRandom,
+                    &mesh_cfg,
+                    0.005,
+                    step,
+                    1.0,
+                    4.0,
+                    6,
+                ),
             ),
             (
                 "REC",
-                latency_sweep(|| RouterlessSim::new(&rec), Pattern::UniformRandom, &rl_cfg, 0.005, step, 1.0, 4.0, 6),
+                latency_sweep(
+                    || RouterlessSim::new(&rec),
+                    Pattern::UniformRandom,
+                    &rl_cfg,
+                    0.005,
+                    step,
+                    1.0,
+                    4.0,
+                    6,
+                ),
             ),
             (
                 "DRL",
-                latency_sweep(|| RouterlessSim::new(&drl), Pattern::UniformRandom, &rl_cfg, 0.005, step, 1.0, 4.0, 6),
+                latency_sweep(
+                    || RouterlessSim::new(&drl),
+                    Pattern::UniformRandom,
+                    &rl_cfg,
+                    0.005,
+                    step,
+                    1.0,
+                    4.0,
+                    6,
+                ),
             ),
         ];
         for (name, sweep) in sweeps {

@@ -168,12 +168,21 @@ fn cmd_simulate(rest: &[String]) -> Result<(), String> {
     let mut sim = RouterlessSim::new(&topo);
     let m = run_synthetic(&mut sim, pattern, rate, &cfg, 1);
     println!("pattern {pattern:?} at {rate} flits/node/cycle over {cycles} cycles:");
-    println!("  avg packet latency: {:.2} cycles (max {})", m.avg_packet_latency(), m.max_latency);
+    println!(
+        "  avg packet latency: {:.2} cycles (max {})",
+        m.avg_packet_latency(),
+        m.max_latency
+    );
     println!("  avg hops:           {:.2}", m.avg_hops());
-    println!("  accepted:           {:.3} flits/node/cycle", m.accepted_throughput());
+    println!(
+        "  accepted:           {:.3} flits/node/cycle",
+        m.accepted_throughput()
+    );
     println!("  delivery ratio:     {:.3}", m.delivery_ratio());
     let power = PowerModel::default();
-    let fabric = Fabric::Routerless { overlap: topo.max_overlap() };
+    let fabric = Fabric::Routerless {
+        overlap: topo.max_overlap(),
+    };
     let p = power.from_metrics(fabric, &m);
     println!(
         "  power/node:         {:.3} mW ({:.3} static + {:.3} dynamic)",

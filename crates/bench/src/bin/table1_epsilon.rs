@@ -46,8 +46,7 @@ fn main() {
         let min = hops.iter().copied().fold(f64::INFINITY, f64::min);
         let mean = hops.iter().sum::<f64>() / hops.len().max(1) as f64;
         let sd = if hops.len() > 1 {
-            (hops.iter().map(|h| (h - mean) * (h - mean)).sum::<f64>()
-                / (hops.len() - 1) as f64)
+            (hops.iter().map(|h| (h - mean) * (h - mean)).sum::<f64>() / (hops.len() - 1) as f64)
                 .sqrt()
         } else {
             0.0

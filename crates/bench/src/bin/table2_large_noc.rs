@@ -7,8 +7,8 @@
 //! Usage: `table2_large_noc [max_n]` (default 18; pass 14 for a quicker
 //! run).
 
-use rlnoc_bench::{drl_topology, f3, print_table, s, write_csv, Effort};
 use rlnoc_baselines::rec_topology;
+use rlnoc_bench::{drl_topology, f3, print_table, s, write_csv, Effort};
 use rlnoc_topology::Grid;
 
 fn main() {
@@ -40,14 +40,25 @@ fn main() {
         rows.push(vec![
             format!("{n}x{n}"),
             rec,
-            if connected { f3(drl.average_hops()) } else { s("disconnected") },
+            if connected {
+                f3(drl.average_hops())
+            } else {
+                s("disconnected")
+            },
             s(p_rec),
             s(p_drl),
             format!("{:.1}s", start.elapsed().as_secs_f64()),
         ]);
     }
 
-    let headers = ["size", "REC_hops", "DRL_hops", "paper_REC", "paper_DRL", "time"];
+    let headers = [
+        "size",
+        "REC_hops",
+        "DRL_hops",
+        "paper_REC",
+        "paper_DRL",
+        "time",
+    ];
     print_table(
         &format!("Table 2: fixed overlap cap {cap}, sizes up to {max_n}x{max_n}"),
         &headers,

@@ -3,8 +3,8 @@
 //! REC is pinned at overlap 14 (= 2(N−1)); DRL keeps improving hop count
 //! as the cap grows to 16, 18, 20.
 
-use rlnoc_bench::{drl_topology, f3, print_table, s, write_csv, Effort};
 use rlnoc_baselines::rec_topology;
+use rlnoc_bench::{drl_topology, f3, print_table, s, write_csv, Effort};
 use rlnoc_topology::Grid;
 
 fn main() {
@@ -43,6 +43,10 @@ fn main() {
         "paper_hops",
         "paper_improve",
     ];
-    print_table("Table 3: 8x8 hop count vs node overlapping", &headers, &rows);
+    print_table(
+        "Table 3: 8x8 hop count vs node overlapping",
+        &headers,
+        &rows,
+    );
     write_csv("table3_overlap_8x8", &headers, &rows);
 }

@@ -2,8 +2,8 @@
 //!
 //! REC is pinned at overlap 18; DRL keeps improving through caps 20–24.
 
-use rlnoc_bench::{drl_topology, f3, print_table, s, write_csv, Effort};
 use rlnoc_baselines::rec_topology;
+use rlnoc_bench::{drl_topology, f3, print_table, s, write_csv, Effort};
 use rlnoc_topology::Grid;
 
 fn main() {
@@ -42,6 +42,10 @@ fn main() {
         "paper_hops",
         "paper_improve",
     ];
-    print_table("Table 4: 10x10 hop count vs node overlapping", &headers, &rows);
+    print_table(
+        "Table 4: 10x10 hop count vs node overlapping",
+        &headers,
+        &rows,
+    );
     write_csv("table4_overlap_10x10", &headers, &rows);
 }

@@ -6,8 +6,8 @@
 //!
 //! Usage: `table5_exec_time [measure_cycles]` (default 20000).
 
-use rlnoc_bench::{drl_topology, print_table, s, write_csv, Effort};
 use rlnoc_baselines::rec_topology;
+use rlnoc_bench::{drl_topology, print_table, s, write_csv, Effort};
 use rlnoc_sim::{MeshSim, RouterlessSim, SimConfig};
 use rlnoc_topology::Grid;
 use rlnoc_workloads::{run_benchmark, Benchmark};
@@ -63,7 +63,14 @@ fn main() {
         ]);
     }
 
-    let headers = ["workload", "Mesh-2", "Mesh-1", "REC", "DRL", "paper(M2/M1/REC/DRL)"];
+    let headers = [
+        "workload",
+        "Mesh-2",
+        "Mesh-1",
+        "REC",
+        "DRL",
+        "paper(M2/M1/REC/DRL)",
+    ];
     print_table("Table 5: 8x8 PARSEC execution time (ms)", &headers, &rows);
     write_csv("table5_exec_time", &headers, &rows);
 }

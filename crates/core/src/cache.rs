@@ -1,0 +1,210 @@
+//! A bounded LRU cache for policy evaluations.
+//!
+//! MCTS revisits states constantly — every cycle walks the tree from the
+//! root, and `run_episode` evaluates a state both when expanding it and
+//! when sampling an action from it. The network is deterministic given its
+//! parameters, so an evaluation is fully determined by the pair
+//! `(Environment::state_key, parameter generation)`; caching on that key
+//! returns exactly what [`crate::PolicyAgent::evaluate`] would, and bumping
+//! the generation on every optimizer step invalidates stale entries without
+//! any explicit flush.
+
+use crate::policy::Evaluation;
+use std::collections::HashMap;
+
+/// Hit/miss counters of an [`EvalCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to a network forward.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when none were made).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Accumulates another counter set into this one.
+    pub fn merge(&mut self, other: CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
+
+/// Sink/source of cached evaluations, so the same episode runner serves a
+/// locally owned cache, a mutex-shared cache across A3C workers, or no
+/// cache at all ([`NoCache`]).
+pub trait EvalCacheHandle {
+    /// Returns the cached evaluation for `(state_key, generation)`, if any.
+    fn lookup(&mut self, state_key: u64, generation: u64) -> Option<Evaluation>;
+    /// Stores an evaluation under `(state_key, generation)`.
+    fn store(&mut self, state_key: u64, generation: u64, eval: &Evaluation);
+}
+
+/// A cache handle that caches nothing (every lookup misses silently).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoCache;
+
+impl EvalCacheHandle for NoCache {
+    fn lookup(&mut self, _state_key: u64, _generation: u64) -> Option<Evaluation> {
+        None
+    }
+    fn store(&mut self, _state_key: u64, _generation: u64, _eval: &Evaluation) {}
+}
+
+/// A capacity-bounded LRU map from `(state_key, parameter generation)` to
+/// [`Evaluation`], with hit/miss counters.
+///
+/// Recency is tracked with a monotone tick; eviction scans for the
+/// least-recently-used entry, which is O(capacity) but only runs once the
+/// cache is full — negligible next to the network forward each eviction
+/// stands in for.
+#[derive(Debug, Clone)]
+pub struct EvalCache {
+    capacity: usize,
+    entries: HashMap<(u64, u64), (Evaluation, u64)>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl EvalCache {
+    /// Creates a cache holding at most `capacity` evaluations. A capacity
+    /// of zero disables the cache entirely (no storage, no counting).
+    pub fn new(capacity: usize) -> Self {
+        EvalCache {
+            capacity,
+            entries: HashMap::with_capacity(capacity.min(4096)),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Whether the cache can hold anything.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Number of cached evaluations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The hit/miss counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+impl EvalCacheHandle for EvalCache {
+    fn lookup(&mut self, state_key: u64, generation: u64) -> Option<Evaluation> {
+        if self.capacity == 0 {
+            return None;
+        }
+        self.tick += 1;
+        match self.entries.get_mut(&(state_key, generation)) {
+            Some((eval, used)) => {
+                *used = self.tick;
+                self.stats.hits += 1;
+                Some(eval.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn store(&mut self, state_key: u64, generation: u64, eval: &Evaluation) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.entries.len() >= self.capacity
+            && !self.entries.contains_key(&(state_key, generation))
+        {
+            if let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| *k)
+            {
+                self.entries.remove(&oldest);
+            }
+        }
+        self.entries
+            .insert((state_key, generation), (eval.clone(), self.tick));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(v: f64) -> Evaluation {
+        Evaluation {
+            probs: [vec![1.0], vec![1.0], vec![1.0], vec![1.0]],
+            p_clockwise: 0.5,
+            value: v,
+        }
+    }
+
+    #[test]
+    fn lookup_after_store_hits() {
+        let mut c = EvalCache::new(8);
+        assert!(c.lookup(1, 0).is_none());
+        c.store(1, 0, &eval(2.0));
+        assert_eq!(c.lookup(1, 0).unwrap().value, 2.0);
+        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn generation_change_invalidates() {
+        let mut c = EvalCache::new(8);
+        c.store(1, 0, &eval(2.0));
+        assert!(c.lookup(1, 1).is_none(), "new generation must miss");
+        assert!(c.lookup(1, 0).is_some(), "old generation entry intact");
+    }
+
+    #[test]
+    fn eviction_drops_least_recently_used() {
+        let mut c = EvalCache::new(2);
+        c.store(1, 0, &eval(1.0));
+        c.store(2, 0, &eval(2.0));
+        assert!(c.lookup(1, 0).is_some()); // refresh key 1
+        c.store(3, 0, &eval(3.0)); // evicts key 2
+        assert_eq!(c.len(), 2);
+        assert!(c.lookup(2, 0).is_none());
+        assert!(c.lookup(1, 0).is_some());
+        assert!(c.lookup(3, 0).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = EvalCache::new(0);
+        c.store(1, 0, &eval(1.0));
+        assert!(c.lookup(1, 0).is_none());
+        assert!(!c.is_enabled());
+        assert_eq!(c.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let mut s = CacheStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        s.merge(CacheStats { hits: 3, misses: 1 });
+        assert_eq!(s.hit_rate(), 0.75);
+    }
+}

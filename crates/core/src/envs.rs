@@ -175,11 +175,11 @@ impl Environment for ExpressLinkEnv {
         for src in 0..n {
             let dist = self.bfs_from(src);
             let (bx, by) = (src % w, src / w);
-            for dst in 0..n {
+            for (dst, &d) in dist.iter().enumerate() {
                 let (cx, cy) = (dst % w, dst / w);
                 let row = by * hh + cy;
                 let col = bx * w + cx;
-                out[row * n + col] = dist[dst] as f32 * scale;
+                out[row * n + col] = d as f32 * scale;
             }
         }
         Tensor::from_vec(out, &[1, 1, n, n]).expect("N²·N² elements")
@@ -230,7 +230,13 @@ impl Environment for ExpressLinkEnv {
                 let (x1, y1) = self.grid.coord_of(s);
                 let (x2, y2) = self.grid.coord_of(d);
                 for bidi in [false, true] {
-                    let a = LinkAction { x1, y1, x2, y2, bidirectional: bidi };
+                    let a = LinkAction {
+                        x1,
+                        y1,
+                        x2,
+                        y2,
+                        bidirectional: bidi,
+                    };
                     if !self.links.contains(&a) {
                         out.push(a);
                     }
@@ -276,7 +282,13 @@ mod tests {
         let mut e = env();
         let base = e.average_hops();
         assert!((base - rlnoc_topology::mesh::average_hops(e.grid())).abs() < 1e-9);
-        let r = e.apply(LinkAction { x1: 0, y1: 0, x2: 3, y2: 3, bidirectional: true });
+        let r = e.apply(LinkAction {
+            x1: 0,
+            y1: 0,
+            x2: 3,
+            y2: 3,
+            bidirectional: true,
+        });
         assert_eq!(r, 0.0);
         assert!(e.average_hops() < base);
         assert!(e.final_return() > 0.0);
@@ -287,20 +299,47 @@ mod tests {
     fn reward_taxonomy_matches_paper() {
         let mut e = env();
         // Self link: invalid.
-        assert_eq!(e.apply(LinkAction { x1: 1, y1: 1, x2: 1, y2: 1, bidirectional: true }), -1.0);
+        assert_eq!(
+            e.apply(LinkAction {
+                x1: 1,
+                y1: 1,
+                x2: 1,
+                y2: 1,
+                bidirectional: true
+            }),
+            -1.0
+        );
         // Valid, then duplicate.
-        let a = LinkAction { x1: 0, y1: 0, x2: 2, y2: 2, bidirectional: false };
+        let a = LinkAction {
+            x1: 0,
+            y1: 0,
+            x2: 2,
+            y2: 2,
+            bidirectional: false,
+        };
         assert_eq!(e.apply(a), 0.0);
         assert_eq!(e.apply(a), -1.0);
         // Budget exceeded (budget 1, node (0,0) already used): illegal −5·N.
-        let b = LinkAction { x1: 0, y1: 0, x2: 3, y2: 0, bidirectional: false };
+        let b = LinkAction {
+            x1: 0,
+            y1: 0,
+            x2: 3,
+            y2: 0,
+            bidirectional: false,
+        };
         assert_eq!(e.apply(b), -20.0);
     }
 
     #[test]
     fn unidirectional_links_are_one_way() {
         let mut e = ExpressLinkEnv::new(Grid::square(4).unwrap(), 4);
-        e.apply(LinkAction { x1: 0, y1: 0, x2: 3, y2: 3, bidirectional: false });
+        e.apply(LinkAction {
+            x1: 0,
+            y1: 0,
+            x2: 3,
+            y2: 3,
+            bidirectional: false,
+        });
         let fwd = e.bfs_from(e.grid.node_at(0, 0))[e.grid.node_at(3, 3)];
         let rev = e.bfs_from(e.grid.node_at(3, 3))[e.grid.node_at(0, 0)];
         assert_eq!(fwd, 1);
@@ -322,8 +361,20 @@ mod tests {
 
     #[test]
     fn state_key_insensitive_to_insertion_order() {
-        let a = LinkAction { x1: 0, y1: 0, x2: 1, y2: 1, bidirectional: true };
-        let b = LinkAction { x1: 2, y1: 2, x2: 3, y2: 3, bidirectional: true };
+        let a = LinkAction {
+            x1: 0,
+            y1: 0,
+            x2: 1,
+            y2: 1,
+            bidirectional: true,
+        };
+        let b = LinkAction {
+            x1: 2,
+            y1: 2,
+            x2: 3,
+            y2: 3,
+            bidirectional: true,
+        };
         let mut e1 = ExpressLinkEnv::new(Grid::square(4).unwrap(), 2);
         e1.apply(a);
         e1.apply(b);

@@ -189,7 +189,10 @@ mod tests {
                 break;
             }
         }
-        assert!(env.is_fully_connected(), "greedy should connect a 4x4 at cap 6");
+        assert!(
+            env.is_fully_connected(),
+            "greedy should connect a 4x4 at cap 6"
+        );
     }
 
     #[test]

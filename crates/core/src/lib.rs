@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cache;
 pub mod env;
 pub mod envs;
 pub mod explorer;
@@ -48,6 +49,7 @@ pub mod replay;
 pub mod rollout;
 pub mod routerless;
 
+pub use cache::{CacheStats, EvalCache, EvalCacheHandle, NoCache};
 pub use env::Environment;
 pub use explorer::{DesignResult, ExploreReport, Explorer, ExplorerConfig};
 pub use mcts::{Mcts, MctsConfig};

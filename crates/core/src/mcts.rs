@@ -137,8 +137,8 @@ impl<A: Copy + Eq + Hash + Debug> Mcts<A> {
         let sqrt_total = f64::from(total_visits).sqrt().max(1.0);
         let mut best: Option<(f64, String, A)> = None;
         for (&a, e) in &node.edges {
-            let u = self.config.c_puct * f64::from(e.prior) * sqrt_total
-                / (1.0 + f64::from(e.visits));
+            let u =
+                self.config.c_puct * f64::from(e.prior) * sqrt_total / (1.0 + f64::from(e.visits));
             let score = u + e.mean_value();
             let key = format!("{a:?}");
             let better = match &best {

@@ -10,10 +10,11 @@
 //! note that averaging "both large gradients and small gradients" steadies
 //! training.
 
+use crate::cache::{EvalCache, EvalCacheHandle};
 use crate::env::Environment;
 use crate::explorer::{DesignResult, ExploreReport, ExplorerConfig, TreeHandle};
 use crate::mcts::Mcts;
-use crate::policy::PolicyAgent;
+use crate::policy::{Evaluation, PolicyAgent};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -63,6 +64,46 @@ impl<A: Copy + Eq + std::hash::Hash + std::fmt::Debug> TreeHandle<A> for SharedT
     }
 }
 
+/// An [`EvalCacheHandle`] over one [`EvalCache`] shared by all child
+/// threads. Entries are keyed on the parent's parameter generation, so a
+/// worker never serves an evaluation computed under parameters it has not
+/// loaded.
+#[derive(Debug)]
+pub struct SharedEvalCache(Arc<Mutex<EvalCache>>);
+
+impl Clone for SharedEvalCache {
+    fn clone(&self) -> Self {
+        SharedEvalCache(Arc::clone(&self.0))
+    }
+}
+
+impl SharedEvalCache {
+    /// Wraps a cache for shared access.
+    pub fn new(cache: EvalCache) -> Self {
+        SharedEvalCache(Arc::new(Mutex::new(cache)))
+    }
+
+    /// Extracts the cache once all handles are done.
+    ///
+    /// # Panics
+    ///
+    /// Panics if other handles still exist.
+    pub fn into_inner(self) -> EvalCache {
+        Arc::try_unwrap(self.0)
+            .expect("all shared-cache handles must be dropped first")
+            .into_inner()
+    }
+}
+
+impl EvalCacheHandle for SharedEvalCache {
+    fn lookup(&mut self, state_key: u64, generation: u64) -> Option<Evaluation> {
+        self.0.lock().lookup(state_key, generation)
+    }
+    fn store(&mut self, state_key: u64, generation: u64, eval: &Evaluation) {
+        self.0.lock().store(state_key, generation, eval);
+    }
+}
+
 /// Runs `total_cycles` exploration cycles split across `threads` child
 /// agents with a shared tree and parent parameter server, returning the
 /// merged report (designs tagged with global cycle indices, in completion
@@ -92,6 +133,7 @@ where
         None => PolicyAgent::for_env(env, config.train.clone(), seed),
     }));
     let tree = SharedTree::new(Mcts::new(config.mcts));
+    let cache = SharedEvalCache::new(EvalCache::new(config.eval_cache_capacity));
     let results: Arc<Mutex<Vec<DesignResult<E>>>> = Arc::new(Mutex::new(Vec::new()));
     let stats_log = Arc::new(Mutex::new(Vec::new()));
     let cycle_counter = Arc::new(Mutex::new(0usize));
@@ -100,6 +142,7 @@ where
         for t in 0..threads {
             let parent = Arc::clone(&parent);
             let mut tree = tree.clone();
+            let mut cache = cache.clone();
             let results = Arc::clone(&results);
             let stats_log = Arc::clone(&stats_log);
             let cycle_counter = Arc::clone(&cycle_counter);
@@ -108,13 +151,12 @@ where
             scope.spawn(move || {
                 // Child DNN replica with its own buffers.
                 let mut local = match &config.net {
-                    Some(net_cfg) => {
-                        PolicyAgent::new(net_cfg.clone(), config.train.clone(), seed)
-                    }
+                    Some(net_cfg) => PolicyAgent::new(net_cfg.clone(), config.train.clone(), seed),
                     None => PolicyAgent::for_env(&env, config.train.clone(), seed),
                 };
                 let mut rng = StdRng::seed_from_u64(
-                    seed.wrapping_add(1 + t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    seed.wrapping_add(1 + t as u64)
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15),
                 );
                 loop {
                     // Claim a cycle index, or finish.
@@ -127,23 +169,50 @@ where
                         *c += 1;
                         mine
                     };
-                    // θ: parent → child.
-                    let snapshot = parent.lock().net_mut().param_snapshot();
+                    // θ: parent → child, tagged with the parent's
+                    // generation so cached evaluations stay consistent.
+                    let (snapshot, generation) = {
+                        let mut p = parent.lock();
+                        (p.net_mut().param_snapshot(), p.param_generation())
+                    };
                     local.net_mut().load_params(&snapshot);
+                    local.set_param_generation(generation);
                     local.net_mut().zero_grad();
 
-                    let (episode, path) =
-                        crate::explorer::run_episode(&mut env, &mut local, &mut tree, &config, &mut rng);
+                    let (episode, path) = crate::explorer::run_episode(
+                        &mut env, &mut local, &mut tree, &mut cache, &config, &mut rng,
+                    );
                     let returns = episode.returns(config.train.gamma);
                     tree.backup(&path, &returns);
 
-                    // dθ: child → parent.
+                    // dθ: child → parent. The post-step snapshot is taken
+                    // under the same lock so it is consistent with the
+                    // generation it is tagged with.
                     let mut stats = local.accumulate_episode(&env, &episode);
                     let grads = local.net_mut().grad_snapshot();
-                    {
+                    let stepped = {
                         let mut p = parent.lock();
                         p.net_mut().accumulate_grads(&grads);
                         stats.grad_norm = p.step_optimizer();
+                        if config.eval_cache_capacity > 0 {
+                            Some((p.net_mut().param_snapshot(), p.param_generation()))
+                        } else {
+                            None
+                        }
+                    };
+                    // Warm the shared cache under the new parameters: one
+                    // batched forward over this episode's visited states,
+                    // so the next cycle's root expansion (any worker) hits.
+                    if let Some((snapshot, generation)) = stepped {
+                        local.net_mut().load_params(&snapshot);
+                        local.set_param_generation(generation);
+                        crate::explorer::warm_cache(
+                            &mut local,
+                            &mut cache,
+                            &episode,
+                            &path,
+                            config.max_steps,
+                        );
                     }
                     stats_log.lock().push(stats);
                     results.lock().push(DesignResult {
@@ -165,10 +234,12 @@ where
     let train_history = Arc::try_unwrap(stats_log)
         .expect("worker threads joined")
         .into_inner();
+    let cache_stats = cache.into_inner().stats();
     ExploreReport {
         cycles_run: designs.len(),
         designs,
         train_history,
+        cache_stats,
     }
 }
 
@@ -218,5 +289,55 @@ mod tests {
     fn zero_threads_panics() {
         let env = RouterlessEnv::new(Grid::square(3).unwrap(), 4);
         let _ = explore_parallel(&env, &quick_config(), 0, 1, 0);
+    }
+
+    fn outcomes(report: &ExploreReport<RouterlessEnv>) -> Vec<(usize, usize, bool, f64)> {
+        report
+            .designs
+            .iter()
+            .map(|d| (d.cycle, d.steps, d.successful, d.final_return))
+            .collect()
+    }
+
+    #[test]
+    fn cache_does_not_change_single_thread_results() {
+        // With one worker the exploration is fully deterministic, and a
+        // cached evaluation is bit-identical to a fresh forward (entries
+        // are keyed on the parameter generation), so enabling the cache
+        // must not change the search trajectory at all.
+        let env = RouterlessEnv::new(Grid::square(3).unwrap(), 4);
+        let mut with_cache = quick_config();
+        with_cache.eval_cache_capacity = 4096;
+        let mut without = quick_config();
+        without.eval_cache_capacity = 0;
+
+        let cached = explore_parallel(&env, &with_cache, 1, 3, 13);
+        let uncached = explore_parallel(&env, &without, 1, 3, 13);
+        assert_eq!(outcomes(&cached), outcomes(&uncached));
+        assert!(
+            cached.cache_stats.hits > 0,
+            "expand + initial sampling of the same root state must hit"
+        );
+        assert_eq!(uncached.cache_stats, crate::cache::CacheStats::default());
+    }
+
+    #[test]
+    fn results_invariant_to_matmul_thread_count() {
+        // An 8x8 NoC (64x64 state matrix) pushes the residual-block GEMMs
+        // past the parallel threshold, so this exercises the row-banded
+        // multi-threaded matmul end to end: the search outcome must be
+        // bit-identical regardless of the kernel's thread budget.
+        let env = RouterlessEnv::new(Grid::square(8).unwrap(), 14);
+        let mut cfg = quick_config();
+        cfg.max_steps = 4;
+        cfg.complete_designs = false;
+        let run = |mm_threads: usize| {
+            let previous = rlnoc_nn::kernels::matmul_threads();
+            rlnoc_nn::kernels::set_matmul_threads(mm_threads);
+            let report = explore_parallel(&env, &cfg, 1, 2, 21);
+            rlnoc_nn::kernels::set_matmul_threads(previous);
+            outcomes(&report)
+        };
+        assert_eq!(run(1), run(3));
     }
 }

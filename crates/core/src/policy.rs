@@ -7,7 +7,7 @@ use rand::rngs::StdRng;
 use rlnoc_nn::loss;
 use rlnoc_nn::net::PolicyValueGrad;
 use rlnoc_nn::optim::{clip_global_norm, Adam};
-use rlnoc_nn::{PolicyValueConfig, PolicyValueNet, Tensor};
+use rlnoc_nn::{PolicyValueConfig, PolicyValueNet, PolicyValueOutput, Tensor};
 
 /// Hyperparameters for actor-critic training.
 #[derive(Debug, Clone, PartialEq)]
@@ -96,6 +96,9 @@ pub struct PolicyAgent {
     net: PolicyValueNet,
     optim: Adam,
     config: TrainConfig,
+    /// Bumped on every optimizer step; evaluation caches key on
+    /// `(state_key, generation)` so stale entries are never served.
+    generation: u64,
 }
 
 /// A policy evaluation at one state: per-head probability tables, the
@@ -136,6 +139,7 @@ impl PolicyAgent {
             net: PolicyValueNet::new(net_config, seed),
             optim: Adam::new(lr),
             config: train_config,
+            generation: 0,
         }
     }
 
@@ -162,23 +166,81 @@ impl PolicyAgent {
         &mut self.net
     }
 
+    /// The current parameter generation (bumped by
+    /// [`PolicyAgent::step_optimizer`]). Evaluation caches key on this to
+    /// invalidate entries whenever the network changes.
+    pub fn param_generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Overrides the parameter generation. Used by the multi-threaded
+    /// framework when a child replica loads the parent's parameter
+    /// snapshot: the child's cached evaluations must be tagged with the
+    /// parent's generation, not the child's local step count.
+    pub fn set_param_generation(&mut self, generation: u64) {
+        self.generation = generation;
+    }
+
     /// Evaluates the policy and value heads at `state` (inference mode).
     pub fn evaluate(&mut self, state: &Tensor) -> Evaluation {
         let out = self.net.forward(state, false);
-        let n = self.net.config().n;
-        let logits = out.coord_logits.as_slice();
-        let probs = [
-            loss::softmax(&logits[0..n]),
-            loss::softmax(&logits[n..2 * n]),
-            loss::softmax(&logits[2 * n..3 * n]),
-            loss::softmax(&logits[3 * n..4 * n]),
-        ];
-        let t = out.dir.as_slice()[0];
-        Evaluation {
-            probs,
-            p_clockwise: (1.0 + t) / 2.0,
-            value: f64::from(out.value.as_slice()[0]),
+        let mut evals = self.split_output(&out);
+        assert_eq!(evals.len(), 1, "evaluate expects a single-sample state");
+        evals.remove(0)
+    }
+
+    /// Evaluates a batch of single-sample states with **one** network
+    /// forward, returning one [`Evaluation`] per state in order.
+    ///
+    /// Inference-mode batch normalization uses running statistics, so each
+    /// sample is evaluated independently: this is numerically identical to
+    /// calling [`PolicyAgent::evaluate`] per state, just one GEMM-friendly
+    /// pass instead of `batch` small ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any state is not a single `side × side` sample.
+    pub fn evaluate_batch(&mut self, states: &[Tensor]) -> Vec<Evaluation> {
+        if states.is_empty() {
+            return Vec::new();
         }
+        let side = self.net.config().input_side;
+        let mut data = Vec::with_capacity(states.len() * side * side);
+        for s in states {
+            assert_eq!(
+                s.as_slice().len(),
+                side * side,
+                "evaluate_batch expects [1, 1, {side}, {side}] states"
+            );
+            data.extend_from_slice(s.as_slice());
+        }
+        let batch = Tensor::from_vec(data, &[states.len(), 1, side, side]).expect("sized above");
+        let out = self.net.forward(&batch, false);
+        self.split_output(&out)
+    }
+
+    /// Converts raw network outputs into per-sample [`Evaluation`]s.
+    fn split_output(&self, out: &PolicyValueOutput) -> Vec<Evaluation> {
+        let n = self.net.config().n;
+        let batch = out.value.shape()[0];
+        let logits = out.coord_logits.as_slice();
+        let dirs = out.dir.as_slice();
+        let values = out.value.as_slice();
+        (0..batch)
+            .map(|i| {
+                let l = &logits[i * 4 * n..(i + 1) * 4 * n];
+                Evaluation {
+                    probs: [
+                        loss::softmax(&l[0..n]),
+                        loss::softmax(&l[n..2 * n]),
+                        loss::softmax(&l[2 * n..3 * n]),
+                        loss::softmax(&l[3 * n..4 * n]),
+                    ],
+                    p_clockwise: (1.0 + dirs[i]) / 2.0,
+                    value: f64::from(values[i]),
+                }
+            })
+            .collect()
     }
 
     /// Samples an action from the policy at the environment's current
@@ -186,6 +248,18 @@ impl PolicyAgent {
     /// the reward taxonomy, not masking, to teach constraints.
     pub fn sample_action<E: Environment>(&mut self, env: &E, rng: &mut StdRng) -> E::Action {
         let eval = self.evaluate(&env.state_tensor());
+        Self::sample_from_eval(&eval, env, rng)
+    }
+
+    /// Samples an action from an existing [`Evaluation`] of the
+    /// environment's current state — the cached-evaluation path of the
+    /// explorer, which avoids re-running the network when the evaluation is
+    /// already known.
+    pub fn sample_from_eval<E: Environment>(
+        eval: &Evaluation,
+        env: &E,
+        rng: &mut StdRng,
+    ) -> E::Action {
         let mut coords = [0usize; 4];
         for (h, c) in coords.iter_mut().enumerate() {
             *c = sample_categorical(&eval.probs[h], rng);
@@ -200,48 +274,80 @@ impl PolicyAgent {
     /// This is the child-thread side of the paper's §4.6 exchange; single
     /// threaded training calls [`PolicyAgent::train_episode`] which also
     /// steps.
+    ///
+    /// The whole trajectory is stacked into a single `[steps, 1, side,
+    /// side]` batch: one forward and one backward per episode instead of
+    /// one per step, so the heavy kernels run at GEMM-friendly batch
+    /// sizes. Parameter gradients sum over the batch exactly as the old
+    /// per-step accumulation did; the only numerical difference is that
+    /// train-mode batch normalization now normalizes over the episode
+    /// batch rather than each step alone.
     pub fn accumulate_episode<E: Environment>(
         &mut self,
         env: &E,
         episode: &Episode<E::Action>,
     ) -> TrainStats {
+        let steps = episode.steps.len();
+        if steps == 0 {
+            return TrainStats {
+                policy_loss: 0.0,
+                value_loss: 0.0,
+                grad_norm: 0.0,
+                steps: 0,
+            };
+        }
         let returns = episode.returns(self.config.gamma);
         let n = self.net.config().n;
+        let side = self.net.config().input_side;
+
+        let mut data = Vec::with_capacity(steps * side * side);
+        for step in &episode.steps {
+            assert_eq!(
+                step.state.as_slice().len(),
+                side * side,
+                "episode states must be single {side}x{side} samples"
+            );
+            data.extend_from_slice(step.state.as_slice());
+        }
+        let batch = Tensor::from_vec(data, &[steps, 1, side, side]).expect("sized above");
+        let out = self.net.forward(&batch, true);
+
+        let logits = out.coord_logits.as_slice();
+        let dirs = out.dir.as_slice();
+        let values = out.value.as_slice();
+        let mut coord_grad = vec![0.0f32; steps * 4 * n];
+        let mut dir_grad = vec![0.0f32; steps];
+        let mut value_grad = vec![0.0f32; steps];
         let mut policy_loss = 0.0f32;
         let mut value_loss = 0.0f32;
-        for (step, &g_t) in episode.steps.iter().zip(&returns) {
-            let out = self.net.forward(&step.state, true);
-            let v = out.value.as_slice()[0];
+        for (i, (step, &g_t)) in episode.steps.iter().zip(&returns).enumerate() {
+            let v = values[i];
             let advantage = (g_t - f64::from(v)) as f32;
             let (coords, flag) = env.encode_action(step.action);
-
-            let logits = out.coord_logits.as_slice();
-            let mut coord_grad = vec![0.0f32; 4 * n];
-            for h in 0..4 {
-                let (l, g) = loss::policy_head_grad(&logits[h * n..(h + 1) * n], coords[h], advantage);
+            for (h, &coord) in coords.iter().enumerate() {
+                let base = (i * 4 + h) * n;
+                let (l, g) = loss::policy_head_grad(&logits[base..base + n], coord, advantage);
                 policy_loss += l;
-                coord_grad[h * n..(h + 1) * n].copy_from_slice(&g);
+                coord_grad[base..base + n].copy_from_slice(&g);
             }
-            let t = out.dir.as_slice()[0];
-            let (dl, dg) = loss::direction_head_grad(t, flag, advantage);
+            let (dl, dg) = loss::direction_head_grad(dirs[i], flag, advantage);
             policy_loss += dl;
+            dir_grad[i] = dg;
             let (vl, vg) = loss::value_head_grad(v, g_t as f32);
             value_loss += vl;
-
-            self.net.backward(&PolicyValueGrad {
-                coord_logits: Tensor::from_vec(coord_grad, &[1, 4, n])
-                    .expect("4N logits"),
-                dir: Tensor::from_vec(vec![dg], &[1, 1]).expect("scalar"),
-                value: Tensor::from_vec(vec![vg * self.config.value_coeff], &[1, 1])
-                    .expect("scalar"),
-            });
+            value_grad[i] = vg * self.config.value_coeff;
         }
-        let steps = episode.steps.len().max(1);
+
+        self.net.backward(&PolicyValueGrad {
+            coord_logits: Tensor::from_vec(coord_grad, &[steps, 4, n]).expect("4N logits"),
+            dir: Tensor::from_vec(dir_grad, &[steps, 1]).expect("batch scalars"),
+            value: Tensor::from_vec(value_grad, &[steps, 1]).expect("batch scalars"),
+        });
         TrainStats {
             policy_loss: policy_loss / steps as f32,
             value_loss: value_loss / steps as f32,
             grad_norm: 0.0,
-            steps: episode.steps.len(),
+            steps,
         }
     }
 
@@ -252,6 +358,7 @@ impl PolicyAgent {
         let mut params = self.net.params_mut();
         let norm = clip_global_norm(&mut params, clip);
         self.optim.step(&mut params);
+        self.generation += 1;
         norm
     }
 
@@ -302,8 +409,16 @@ mod tests {
     fn returns_discounting() {
         let ep = Episode {
             steps: vec![
-                Step { state: Tensor::zeros(&[1]), action: 0u8, reward: 1.0 },
-                Step { state: Tensor::zeros(&[1]), action: 0u8, reward: -1.0 },
+                Step {
+                    state: Tensor::zeros(&[1]),
+                    action: 0u8,
+                    reward: 1.0,
+                },
+                Step {
+                    state: Tensor::zeros(&[1]),
+                    action: 0u8,
+                    reward: -1.0,
+                },
             ],
             final_return: 2.0,
         };
@@ -314,7 +429,10 @@ mod tests {
 
     #[test]
     fn returns_empty_episode() {
-        let ep: Episode<u8> = Episode { steps: vec![], final_return: 3.0 };
+        let ep: Episode<u8> = Episode {
+            steps: vec![],
+            final_return: 3.0,
+        };
         assert!(ep.returns(0.9).is_empty());
     }
 
@@ -366,7 +484,11 @@ mod tests {
             .evaluate(&state)
             .action_prior(action.head_indices().0, true);
         let episode = Episode {
-            steps: vec![Step { state: state.clone(), action, reward: 0.0 }],
+            steps: vec![Step {
+                state: state.clone(),
+                action,
+                reward: 0.0,
+            }],
             final_return: 1.0,
         };
         for _ in 0..15 {
@@ -385,7 +507,11 @@ mod tests {
         let state = env.state_tensor();
         let action = LoopAction::new(0, 0, 1, 1, Direction::Clockwise);
         let episode = Episode {
-            steps: vec![Step { state: state.clone(), action, reward: 0.0 }],
+            steps: vec![Step {
+                state: state.clone(),
+                action,
+                reward: 0.0,
+            }],
             final_return: -2.0,
         };
         for _ in 0..80 {
@@ -393,6 +519,69 @@ mod tests {
         }
         let v = agent.evaluate(&state).value;
         assert!((v - (-2.0)).abs() < 0.7, "value {v} should approach -2");
+    }
+
+    #[test]
+    fn evaluate_batch_matches_per_sample_evaluate() {
+        let env = RouterlessEnv::new(Grid::square(3).unwrap(), 4);
+        let mut agent = agent_for(&env, 6);
+        // Collect several distinct states along a sampled trajectory.
+        let mut e = env.clone();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut states = vec![e.state_tensor()];
+        for _ in 0..4 {
+            let a = agent.sample_action(&e, &mut rng);
+            e.apply(a);
+            states.push(e.state_tensor());
+        }
+        let batched = agent.evaluate_batch(&states);
+        assert_eq!(batched.len(), states.len());
+        // Eval-mode batch norm uses running statistics, so the batched
+        // forward is exactly per-sample evaluation — bit-identical.
+        for (s, b) in states.iter().zip(&batched) {
+            assert_eq!(&agent.evaluate(s), b);
+        }
+        assert!(agent.evaluate_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn generation_tracks_optimizer_steps() {
+        let env = tiny_env();
+        let mut agent = agent_for(&env, 0);
+        assert_eq!(agent.param_generation(), 0);
+        agent.step_optimizer();
+        assert_eq!(agent.param_generation(), 1);
+        agent.set_param_generation(7);
+        assert_eq!(agent.param_generation(), 7);
+    }
+
+    #[test]
+    fn accumulate_handles_multi_step_and_empty_episodes() {
+        let env = tiny_env();
+        let mut agent = agent_for(&env, 5);
+        let empty: Episode<LoopAction> = Episode {
+            steps: vec![],
+            final_return: 0.0,
+        };
+        let stats = agent.accumulate_episode(&env, &empty);
+        assert_eq!(stats.steps, 0);
+
+        let action = LoopAction::new(0, 0, 1, 1, Direction::Clockwise);
+        let state = env.state_tensor();
+        let episode = Episode {
+            steps: (0..3)
+                .map(|_| Step {
+                    state: state.clone(),
+                    action,
+                    reward: 0.5,
+                })
+                .collect(),
+            final_return: 1.0,
+        };
+        let stats = agent.accumulate_episode(&env, &episode);
+        assert_eq!(stats.steps, 3);
+        assert!(stats.policy_loss.is_finite() && stats.value_loss.is_finite());
+        assert!(agent.step_optimizer() > 0.0, "gradients should be nonzero");
     }
 
     #[test]

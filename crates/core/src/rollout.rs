@@ -322,7 +322,11 @@ mod tests {
         for (w, h) in [(4usize, 6usize), (6, 4), (3, 5)] {
             let t = skeleton_topology(Grid::new(w, h).unwrap());
             assert!(t.is_fully_connected(), "{w}x{h}");
-            assert!(t.max_overlap() <= w.max(h) as u32 + 1, "{w}x{h}: {}", t.max_overlap());
+            assert!(
+                t.max_overlap() <= w.max(h) as u32 + 1,
+                "{w}x{h}: {}",
+                t.max_overlap()
+            );
         }
     }
 

@@ -30,7 +30,13 @@ pub struct LoopAction {
 impl LoopAction {
     /// Creates an action from raw coordinates.
     pub fn new(x1: usize, y1: usize, x2: usize, y2: usize, dir: Direction) -> Self {
-        LoopAction { x1, y1, x2, y2, dir }
+        LoopAction {
+            x1,
+            y1,
+            x2,
+            y2,
+            dir,
+        }
     }
 
     /// Converts to a validated [`RectLoop`].
@@ -359,20 +365,35 @@ mod tests {
     fn reward_taxonomy() {
         let mut env = env4();
         // Valid.
-        assert_eq!(env.apply(LoopAction::new(0, 0, 3, 3, Direction::Clockwise)), 0.0);
+        assert_eq!(
+            env.apply(LoopAction::new(0, 0, 3, 3, Direction::Clockwise)),
+            0.0
+        );
         // Repetitive.
-        assert_eq!(env.apply(LoopAction::new(0, 0, 3, 3, Direction::Clockwise)), -1.0);
+        assert_eq!(
+            env.apply(LoopAction::new(0, 0, 3, 3, Direction::Clockwise)),
+            -1.0
+        );
         // Invalid (degenerate).
-        assert_eq!(env.apply(LoopAction::new(1, 0, 1, 3, Direction::Clockwise)), -1.0);
+        assert_eq!(
+            env.apply(LoopAction::new(1, 0, 1, 3, Direction::Clockwise)),
+            -1.0
+        );
         // Invalid (out of bounds).
-        assert_eq!(env.apply(LoopAction::new(0, 0, 4, 4, Direction::Clockwise)), -1.0);
+        assert_eq!(
+            env.apply(LoopAction::new(0, 0, 4, 4, Direction::Clockwise)),
+            -1.0
+        );
         assert_eq!(env.topology().loops().len(), 1);
     }
 
     #[test]
     fn illegal_penalty_is_5n() {
         let mut env = RouterlessEnv::new(Grid::square(4).unwrap(), 1);
-        assert_eq!(env.apply(LoopAction::new(0, 0, 3, 3, Direction::Clockwise)), 0.0);
+        assert_eq!(
+            env.apply(LoopAction::new(0, 0, 3, 3, Direction::Clockwise)),
+            0.0
+        );
         // Any loop sharing a node with the first now violates cap 1.
         let r = env.apply(LoopAction::new(0, 0, 3, 3, Direction::Counterclockwise));
         assert_eq!(r, -20.0, "-5*N for N=4");
@@ -499,7 +520,10 @@ mod tests {
         assert!(!tight.is_fully_connected(), "corners cannot connect");
         let corner_a = tight.grid().node_at(0, 0);
         let corner_b = tight.grid().node_at(3, 3);
-        assert!(!tight.topology().hop_matrix().is_connected(corner_a, corner_b));
+        assert!(!tight
+            .topology()
+            .hop_matrix()
+            .is_connected(corner_a, corner_b));
         assert!(tight.topology().loops().iter().all(|l| l.num_nodes() <= 10));
 
         let exact = run(12);

@@ -61,7 +61,7 @@ impl Layer for BatchNorm2d {
         let mut out = Tensor::zeros(&[n, c, h, w]);
         let mut xhat = Tensor::zeros(&[n, c, h, w]);
         let mut inv_stds = vec![0.0f32; c];
-        for ch in 0..c {
+        for (ch, inv_std_slot) in inv_stds.iter_mut().enumerate() {
             let (mean, var) = if train {
                 let mut sum = 0.0f32;
                 let mut sq = 0.0f32;
@@ -83,7 +83,7 @@ impl Layer for BatchNorm2d {
                 (self.running_mean[ch], self.running_var[ch])
             };
             let inv_std = 1.0 / (var + self.eps).sqrt();
-            inv_stds[ch] = inv_std;
+            *inv_std_slot = inv_std;
             let g = self.gamma.value.as_slice()[ch];
             let b0 = self.beta.value.as_slice()[ch];
             for b in 0..n {
@@ -131,8 +131,8 @@ impl Layer for BatchNorm2d {
                     let dxhat = god[base + i] * g;
                     // Full batch-norm backward: couples every element of the
                     // channel through the batch mean and variance.
-                    gx.as_mut_slice()[base + i] = inv_std
-                        * (dxhat - (g / m) * sum_g - xh[base + i] * (g / m) * sum_gx);
+                    gx.as_mut_slice()[base + i] =
+                        inv_std * (dxhat - (g / m) * sum_g - xh[base + i] * (g / m) * sum_gx);
                 }
             }
         }
@@ -155,7 +155,12 @@ mod tests {
         let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
         let y = bn.forward(&x, true);
         let mean = y.mean();
-        let var = y.as_slice().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        let var = y
+            .as_slice()
+            .iter()
+            .map(|&v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / 4.0;
         assert!(mean.abs() < 1e-5, "mean {mean}");
         assert!((var - 1.0).abs() < 1e-3, "var {var}");
     }

@@ -1,5 +1,5 @@
 use super::{Layer, Param};
-use crate::{init, Tensor};
+use crate::{init, kernels, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -8,6 +8,15 @@ use rand::SeedableRng;
 /// Input and output are NCHW. The kernel tensor has shape
 /// `[out_channels, in_channels, k, k]`; padding is `k / 2`, so odd kernel
 /// sizes preserve spatial dimensions exactly.
+///
+/// Both passes lower onto the blocked GEMM in [`crate::kernels`]: the
+/// forward pass im2col-expands each batch item into a
+/// `[in_c·k·k, h·w]` column matrix and multiplies by the weight matrix
+/// viewed as `[out_c, in_c·k·k]`; the backward pass recomputes the column
+/// matrix (cheaper than caching it for large batches), forms the weight
+/// gradient as `grad_out × colᵀ` and scatters `Wᵀ × grad_out` back through
+/// col2im for the input gradient. The naive loop nest these must agree
+/// with lives in [`crate::reference::conv2d_naive`].
 #[derive(Debug, Clone)]
 pub struct Conv2d {
     weight: Param,
@@ -50,40 +59,23 @@ impl Layer for Conv2d {
     fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
         let [n, c, h, w] = shape4(x);
         assert_eq!(c, self.in_c, "input channel mismatch");
-        let pad = self.k / 2;
+        let hw = h * w;
+        let kdim = self.in_c * self.k * self.k;
         let mut out = Tensor::zeros(&[n, self.out_c, h, w]);
         let xd = x.as_slice();
         let wd = self.weight.value.as_slice();
         let bd = self.bias.value.as_slice();
         let od = out.as_mut_slice();
+        let mut col = vec![0.0f32; kdim * hw];
         for b in 0..n {
+            im2col(&xd[b * c * hw..][..c * hw], c, h, w, self.k, &mut col);
+            let out_b = &mut od[b * self.out_c * hw..][..self.out_c * hw];
+            // out[b] = W[out_c, kdim] × col[kdim, hw]
+            kernels::gemm(false, false, self.out_c, kdim, hw, wd, &col, out_b);
             for oc in 0..self.out_c {
-                let obase = ((b * self.out_c) + oc) * h * w;
-                for oy in 0..h {
-                    for ox in 0..w {
-                        let mut acc = bd[oc];
-                        for ic in 0..self.in_c {
-                            let ibase = ((b * c) + ic) * h * w;
-                            let wbase = ((oc * self.in_c) + ic) * self.k * self.k;
-                            for ky in 0..self.k {
-                                let iy = oy + ky;
-                                if iy < pad || iy - pad >= h {
-                                    continue;
-                                }
-                                let iy = iy - pad;
-                                for kx in 0..self.k {
-                                    let ix = ox + kx;
-                                    if ix < pad || ix - pad >= w {
-                                        continue;
-                                    }
-                                    let ix = ix - pad;
-                                    acc += xd[ibase + iy * w + ix]
-                                        * wd[wbase + ky * self.k + kx];
-                                }
-                            }
-                        }
-                        od[obase + oy * w + ox] = acc;
-                    }
+                let bias = bd[oc];
+                for v in &mut out_b[oc * hw..(oc + 1) * hw] {
+                    *v += bias;
                 }
             }
         }
@@ -94,7 +86,13 @@ impl Layer for Conv2d {
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let x = self.cache.as_ref().expect("backward before forward");
         let [n, c, h, w] = shape4(x);
-        let pad = self.k / 2;
+        assert_eq!(
+            grad_out.shape(),
+            &[n, self.out_c, h, w],
+            "gradient shape mismatch"
+        );
+        let hw = h * w;
+        let kdim = self.in_c * self.k * self.k;
         let mut gx = Tensor::zeros(&[n, c, h, w]);
         let xd = x.as_slice();
         let wd = self.weight.value.as_slice();
@@ -102,45 +100,102 @@ impl Layer for Conv2d {
         let gw = self.weight.grad.as_mut_slice();
         let gb = self.bias.grad.as_mut_slice();
         let gxd = gx.as_mut_slice();
+        let mut col = vec![0.0f32; kdim * hw];
+        let mut gw_batch = vec![0.0f32; self.out_c * kdim];
+        let mut gcol = vec![0.0f32; kdim * hw];
         for b in 0..n {
+            let go_b = &god[b * self.out_c * hw..][..self.out_c * hw];
             for oc in 0..self.out_c {
-                let obase = ((b * self.out_c) + oc) * h * w;
-                for oy in 0..h {
-                    for ox in 0..w {
-                        let go = god[obase + oy * w + ox];
-                        if go == 0.0 {
-                            continue;
-                        }
-                        gb[oc] += go;
-                        for ic in 0..self.in_c {
-                            let ibase = ((b * c) + ic) * h * w;
-                            let wbase = ((oc * self.in_c) + ic) * self.k * self.k;
-                            for ky in 0..self.k {
-                                let iy = oy + ky;
-                                if iy < pad || iy - pad >= h {
-                                    continue;
-                                }
-                                let iy = iy - pad;
-                                for kx in 0..self.k {
-                                    let ix = ox + kx;
-                                    if ix < pad || ix - pad >= w {
-                                        continue;
-                                    }
-                                    let ix = ix - pad;
-                                    gw[wbase + ky * self.k + kx] += go * xd[ibase + iy * w + ix];
-                                    gxd[ibase + iy * w + ix] += go * wd[wbase + ky * self.k + kx];
-                                }
-                            }
-                        }
-                    }
-                }
+                gb[oc] += go_b[oc * hw..(oc + 1) * hw].iter().sum::<f32>();
             }
+            // gW += grad_out[b] × col[b]ᵀ (gemm overwrites, so go through a
+            // scratch buffer; parameter gradients accumulate across calls).
+            im2col(&xd[b * c * hw..][..c * hw], c, h, w, self.k, &mut col);
+            kernels::gemm(false, true, self.out_c, hw, kdim, go_b, &col, &mut gw_batch);
+            for (dst, &v) in gw.iter_mut().zip(&gw_batch) {
+                *dst += v;
+            }
+            // gx[b] = col2im(Wᵀ × grad_out[b])
+            kernels::gemm(true, false, kdim, self.out_c, hw, wd, go_b, &mut gcol);
+            col2im(&gcol, c, h, w, self.k, &mut gxd[b * c * hw..][..c * hw]);
         }
         gx
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+/// Expands one NCHW batch item (`x` is `[c, h, w]` flattened) into the
+/// im2col matrix `col[(ic·k + ky)·k + kx, oy·w + ox] = x[ic, oy+ky-pad,
+/// ox+kx-pad]`, with zero padding outside the image. For each
+/// `(ic, ky, kx, oy)` the valid `ox` range is one contiguous run, so rows
+/// are filled with slice copies rather than per-pixel bounds checks.
+fn im2col(x: &[f32], c: usize, h: usize, w: usize, k: usize, col: &mut [f32]) {
+    let pad = k / 2;
+    let hw = h * w;
+    debug_assert_eq!(x.len(), c * hw);
+    debug_assert_eq!(col.len(), c * k * k * hw);
+    for ic in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = &mut col[((ic * k + ky) * k + kx) * hw..][..hw];
+                // Valid output xs: 0 <= ox + kx - pad < w.
+                let ox_lo = pad.saturating_sub(kx);
+                let ox_hi = (w + pad).saturating_sub(kx).min(w);
+                for oy in 0..h {
+                    let dst = &mut row[oy * w..(oy + 1) * w];
+                    let iy = oy + ky;
+                    if iy < pad || iy - pad >= h || ox_lo >= ox_hi {
+                        dst.fill(0.0);
+                        continue;
+                    }
+                    let iy = iy - pad;
+                    dst[..ox_lo].fill(0.0);
+                    dst[ox_hi..].fill(0.0);
+                    let ix_lo = ox_lo + kx - pad;
+                    let src = &x[ic * hw + iy * w..][ix_lo..ix_lo + (ox_hi - ox_lo)];
+                    dst[ox_lo..ox_hi].copy_from_slice(src);
+                }
+            }
+        }
+    }
+}
+
+/// Inverse of [`im2col`] for gradients: scatter-adds the column-matrix
+/// gradient back onto the image gradient (`gx` is `[c, h, w]` flattened,
+/// accumulated into). Overlapping kernel windows sum, matching the direct
+/// convolution's input gradient.
+fn col2im(gcol: &[f32], c: usize, h: usize, w: usize, k: usize, gx: &mut [f32]) {
+    let pad = k / 2;
+    let hw = h * w;
+    debug_assert_eq!(gx.len(), c * hw);
+    debug_assert_eq!(gcol.len(), c * k * k * hw);
+    for ic in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = &gcol[((ic * k + ky) * k + kx) * hw..][..hw];
+                let ox_lo = pad.saturating_sub(kx);
+                let ox_hi = (w + pad).saturating_sub(kx).min(w);
+                if ox_lo >= ox_hi {
+                    continue;
+                }
+                for oy in 0..h {
+                    let iy = oy + ky;
+                    if iy < pad || iy - pad >= h {
+                        continue;
+                    }
+                    let iy = iy - pad;
+                    let ix_lo = ox_lo + kx - pad;
+                    let dst = &mut gx[ic * hw + iy * w..][ix_lo..ix_lo + (ox_hi - ox_lo)];
+                    let src = &row[oy * w + ox_lo..oy * w + ox_hi];
+                    for (d, &g) in dst.iter_mut().zip(src) {
+                        *d += g;
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -200,6 +255,55 @@ mod tests {
         )
         .unwrap();
         gradcheck::check_input_grad(&mut conv, &x, 2e-2);
+    }
+
+    #[test]
+    fn im2col_forward_matches_naive_reference() {
+        use rand::Rng;
+        // Random shapes, including batch > 1, non-square spatial dims, and
+        // k = 5 (larger padding) — the im2col path must agree with the
+        // direct loop nest everywhere.
+        let shapes: &[(usize, usize, usize, usize, usize)] = &[
+            (1, 1, 4, 4, 3),
+            (2, 3, 6, 7, 3),
+            (3, 2, 5, 9, 5),
+            (4, 4, 8, 8, 3),
+            (2, 1, 1, 6, 3),
+        ];
+        let mut rng = StdRng::seed_from_u64(99);
+        for &(n, c, h, w, k) in shapes {
+            let mut conv = Conv2d::new(c, c + 1, k, 5);
+            let x = Tensor::from_vec(
+                (0..n * c * h * w)
+                    .map(|_| rng.gen_range(-1.0..1.0))
+                    .collect(),
+                &[n, c, h, w],
+            )
+            .unwrap();
+            let got = conv.forward(&x, false);
+            let want = crate::reference::conv2d_naive(&x, &conv.weight.value, &conv.bias.value);
+            assert_eq!(got.shape(), want.shape());
+            for (g, e) in got.as_slice().iter().zip(want.as_slice()) {
+                assert!(
+                    (g - e).abs() <= 1e-5,
+                    "conv parity failed at shape {:?}: {g} vs {e}",
+                    (n, c, h, w, k)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backward_no_longer_skips_zero_grads() {
+        // A zero upstream gradient times a NaN weight must still propagate
+        // NaN into the input gradient (0 × NaN = NaN); the old loop skipped
+        // zero grad_out entries entirely.
+        let mut conv = Conv2d::new(1, 1, 3, 0);
+        conv.weight.value = Tensor::from_vec(vec![f32::NAN; 9], &[1, 1, 3, 3]).unwrap();
+        let x = Tensor::zeros(&[1, 1, 3, 3]);
+        conv.forward(&x, true);
+        let gx = conv.backward(&Tensor::zeros(&[1, 1, 3, 3]));
+        assert!(gx.as_slice().iter().all(|v| v.is_nan()));
     }
 
     #[test]

@@ -134,11 +134,8 @@ mod tests {
     #[test]
     fn gradcheck_linear() {
         let mut lin = Linear::new(3, 4, 2);
-        let x = Tensor::from_vec(
-            (0..6).map(|v| (v as f32 * 0.7).sin()).collect(),
-            &[2, 3],
-        )
-        .unwrap();
+        let x =
+            Tensor::from_vec((0..6).map(|v| (v as f32 * 0.7).sin()).collect(), &[2, 3]).unwrap();
         gradcheck::check_input_grad(&mut lin, &x, 1e-2);
         gradcheck::check_param_grads(&mut lin, &x, 1e-2);
     }

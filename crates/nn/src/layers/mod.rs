@@ -123,11 +123,7 @@ pub(crate) mod gradcheck {
         let w = Tensor::from_vec(weights, out.shape()).unwrap();
         layer.zero_grad();
         let _ = layer.backward(&w);
-        let analytic: Vec<Tensor> = layer
-            .params_mut()
-            .iter()
-            .map(|p| p.grad.clone())
-            .collect();
+        let analytic: Vec<Tensor> = layer.params_mut().iter().map(|p| p.grad.clone()).collect();
 
         let eps = 1e-2f32;
         for (pi, grad) in analytic.iter().enumerate() {

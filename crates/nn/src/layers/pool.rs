@@ -101,7 +101,9 @@ mod tests {
     fn backward_routes_to_argmax() {
         let mut p = MaxPool2d::new();
         let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 9.0, 5.0, 6.0, 7.0, 8.0, 0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0],
+            vec![
+                1.0, 2.0, 3.0, 9.0, 5.0, 6.0, 7.0, 8.0, 0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0,
+            ],
             &[1, 1, 4, 4],
         )
         .unwrap();

@@ -93,7 +93,10 @@ mod tests {
 
     #[test]
     fn gradcheck_residual_block() {
-        let mut block = ResidualBlock::new(2, 7);
+        // Init seed chosen so no ReLU sits on its kink for this input
+        // under the workspace PRNG stream (see vendor/rand); finite
+        // differences are unreliable at kinks.
+        let mut block = ResidualBlock::new(2, 3);
         let x = Tensor::from_vec(
             (0..2 * 9).map(|v| (v as f32 * 0.23).sin()).collect(),
             &[1, 2, 3, 3],

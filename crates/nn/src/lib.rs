@@ -38,10 +38,12 @@ mod error;
 mod tensor;
 
 pub mod init;
+pub mod kernels;
 pub mod layers;
 pub mod loss;
 pub mod net;
 pub mod optim;
+pub mod reference;
 
 pub use error::NnError;
 pub use net::{PolicyValueConfig, PolicyValueNet, PolicyValueOutput};

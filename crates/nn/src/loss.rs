@@ -119,8 +119,8 @@ mod tests {
     fn log_softmax_matches_log_of_softmax() {
         let logits = [0.3, -1.2, 2.0];
         let p = softmax(&logits);
-        for i in 0..3 {
-            assert!((log_softmax_at(&logits, i) - p[i].ln()).abs() < 1e-5);
+        for (i, &pi) in p.iter().enumerate() {
+            assert!((log_softmax_at(&logits, i) - pi.ln()).abs() < 1e-5);
         }
     }
 
@@ -165,7 +165,10 @@ mod tests {
             let eps = 1e-3;
             let f = |t: f32| direction_head_grad(t, cw, a).0;
             let numeric = (f(t + eps) - f(t - eps)) / (2.0 * eps);
-            assert!((grad - numeric).abs() < 1e-2, "t={t} cw={cw}: {grad} vs {numeric}");
+            assert!(
+                (grad - numeric).abs() < 1e-2,
+                "t={t} cw={cw}: {grad} vs {numeric}"
+            );
         }
     }
 

@@ -1,8 +1,8 @@
 //! The paper's two-headed policy/value network (Figure 6c).
 
 use crate::layers::{
-    BatchNorm2d, Conv2d, Flatten, Layer, Linear, MaxPool2d, Param, Relu, ResidualBlock,
-    Sequential, Tanh,
+    BatchNorm2d, Conv2d, Flatten, Layer, Linear, MaxPool2d, Param, Relu, ResidualBlock, Sequential,
+    Tanh,
 };
 use crate::Tensor;
 
@@ -123,7 +123,9 @@ impl PolicyValueNet {
         let mut prev = 1;
         let mut s = seed;
         let mut next_seed = || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             s
         };
         for (i, &c) in config.channels.iter().enumerate() {
@@ -330,8 +332,8 @@ mod tests {
     #[test]
     fn forward_is_deterministic_per_seed() {
         let cfg = PolicyValueConfig::small(2);
-        let x = Tensor::from_vec((0..16).map(|v| v as f32 / 16.0).collect(), &[1, 1, 4, 4])
-            .unwrap();
+        let x =
+            Tensor::from_vec((0..16).map(|v| v as f32 / 16.0).collect(), &[1, 1, 4, 4]).unwrap();
         let mut a = PolicyValueNet::new(cfg.clone(), 5);
         let mut b = PolicyValueNet::new(cfg, 5);
         assert_eq!(a.forward(&x, false), b.forward(&x, false));
@@ -340,8 +342,8 @@ mod tests {
     #[test]
     fn snapshot_round_trip() {
         let cfg = PolicyValueConfig::small(2);
-        let x = Tensor::from_vec((0..16).map(|v| (v as f32).sin()).collect(), &[1, 1, 4, 4])
-            .unwrap();
+        let x =
+            Tensor::from_vec((0..16).map(|v| (v as f32).sin()).collect(), &[1, 1, 4, 4]).unwrap();
         let mut a = PolicyValueNet::new(cfg.clone(), 5);
         let mut b = PolicyValueNet::new(cfg, 99);
         assert_ne!(a.forward(&x, false), b.forward(&x, false));
@@ -353,8 +355,8 @@ mod tests {
     #[test]
     fn checkpoint_round_trip() {
         let cfg = PolicyValueConfig::small(2);
-        let x = Tensor::from_vec((0..16).map(|v| (v as f32).cos()).collect(), &[1, 1, 4, 4])
-            .unwrap();
+        let x =
+            Tensor::from_vec((0..16).map(|v| (v as f32).cos()).collect(), &[1, 1, 4, 4]).unwrap();
         let mut a = PolicyValueNet::new(cfg.clone(), 5);
         let mut b = PolicyValueNet::new(cfg, 99);
         let dir = std::env::temp_dir().join("rlnoc_ckpt_test.json");
@@ -370,8 +372,7 @@ mod tests {
         // that gradients flow end to end.
         let cfg = PolicyValueConfig::small(2);
         let mut net = PolicyValueNet::new(cfg, 3);
-        let x = Tensor::from_vec((0..16).map(|v| v as f32 / 8.0).collect(), &[1, 1, 4, 4])
-            .unwrap();
+        let x = Tensor::from_vec((0..16).map(|v| v as f32 / 8.0).collect(), &[1, 1, 4, 4]).unwrap();
         let target = 0.7f32;
         let mut opt = crate::optim::Adam::new(5e-3);
         let mut first = None;
@@ -433,6 +434,9 @@ mod tests {
             opt.step(&mut params);
         }
         let after = probs_of(&mut net, &x)[3];
-        assert!(after > before, "P(x1=3) should increase: {before} → {after}");
+        assert!(
+            after > before,
+            "P(x1=3) should increase: {before} → {after}"
+        );
     }
 }

@@ -62,7 +62,10 @@ impl Sgd {
     /// Panics if the parameter list changes shape between calls.
     pub fn step(&mut self, params: &mut [&mut Param]) {
         if self.velocity.is_empty() {
-            self.velocity = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+            self.velocity = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape()))
+                .collect();
         }
         assert_eq!(self.velocity.len(), params.len(), "parameter set changed");
         for (p, v) in params.iter_mut().zip(&mut self.velocity) {
@@ -119,8 +122,14 @@ impl Adam {
     /// Panics if the parameter list changes shape between calls.
     pub fn step(&mut self, params: &mut [&mut Param]) {
         if self.m.is_empty() {
-            self.m = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
-            self.v = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+            self.m = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape()))
+                .collect();
+            self.v = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape()))
+                .collect();
         }
         assert_eq!(self.m.len(), params.len(), "parameter set changed");
         self.t += 1;

@@ -1,0 +1,94 @@
+//! Naive reference kernels — the correctness oracles for the optimized
+//! paths in [`crate::kernels`] and the im2col convolution.
+//!
+//! These are the original (pre-optimization) loop nests, kept as
+//! straightforward as possible so they are easy to audit by eye. Parity
+//! tests assert that the blocked GEMM and the im2col convolution agree
+//! with these within floating-point tolerance across random shapes. They
+//! are compiled into the library (not just test builds) so benchmarks can
+//! report optimized-vs-naive ratios.
+
+use crate::Tensor;
+
+/// Naive triple-loop matrix multiply: `[m, k] × [k, n] → [m, n]`.
+///
+/// No zero-skip fast path: `0 × NaN` propagates, exactly like the blocked
+/// kernel.
+///
+/// # Panics
+/// Panics if either tensor is not 2-D or inner dimensions disagree.
+pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().len(), 2, "matmul lhs must be 2-D");
+    assert_eq!(b.shape().len(), 2, "matmul rhs must be 2-D");
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "matmul inner dimensions disagree");
+    let (ad, bd) = (a.as_slice(), b.as_slice());
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let av = ad[i * k + p];
+            let row = &bd[p * n..(p + 1) * n];
+            let dst = &mut out[i * n..(i + 1) * n];
+            for (d, &bv) in dst.iter_mut().zip(row) {
+                *d += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n]).expect("sized above")
+}
+
+/// Naive direct convolution: stride 1, same zero padding (`pad = k / 2`).
+///
+/// `x` is `[batch, in_c, h, w]`, `weight` is `[out_c, in_c, k, k]`, `bias`
+/// is `[out_c]`; the result is `[batch, out_c, h, w]`.
+///
+/// # Panics
+/// Panics if shapes are inconsistent.
+pub fn conv2d_naive(x: &Tensor, weight: &Tensor, bias: &Tensor) -> Tensor {
+    let [batch, in_c, h, w] = shape4(x);
+    let [out_c, w_in_c, k, k2] = shape4(weight);
+    assert_eq!(in_c, w_in_c, "conv input channels disagree");
+    assert_eq!(k, k2, "conv kernels must be square");
+    assert_eq!(bias.shape(), &[out_c], "conv bias shape");
+    let pad = k / 2;
+
+    let (xd, wd, bd) = (x.as_slice(), weight.as_slice(), bias.as_slice());
+    let mut out = vec![0.0f32; batch * out_c * h * w];
+    for b in 0..batch {
+        for oc in 0..out_c {
+            for oy in 0..h {
+                for ox in 0..w {
+                    let mut acc = bd[oc];
+                    for ic in 0..in_c {
+                        let ibase = (b * in_c + ic) * h * w;
+                        let wbase = ((oc * in_c + ic) * k) * k;
+                        for ky in 0..k {
+                            let iy = oy + ky;
+                            if iy < pad || iy >= h + pad {
+                                continue;
+                            }
+                            let iy = iy - pad;
+                            for kx in 0..k {
+                                let ix = ox + kx;
+                                if ix < pad || ix >= w + pad {
+                                    continue;
+                                }
+                                let ix = ix - pad;
+                                acc += xd[ibase + iy * w + ix] * wd[wbase + ky * k + kx];
+                            }
+                        }
+                    }
+                    out[((b * out_c + oc) * h + oy) * w + ox] = acc;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[batch, out_c, h, w]).expect("sized above")
+}
+
+fn shape4(t: &Tensor) -> [usize; 4] {
+    let s = t.shape();
+    assert_eq!(s.len(), 4, "expected a 4-D tensor, got {s:?}");
+    [s[0], s[1], s[2], s[3]]
+}

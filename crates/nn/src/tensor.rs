@@ -204,33 +204,51 @@ impl Tensor {
 
     /// Matrix multiplication of 2-D tensors: `[m, k] × [k, n] → [m, n]`.
     ///
+    /// Runs on the cache-blocked kernel in [`crate::kernels`] (row-parallel
+    /// above a size threshold; results are identical for any thread count).
+    /// Unlike earlier versions there is no zero-skip fast path, so
+    /// `0 × NaN` propagates as IEEE-754 requires.
+    ///
     /// # Panics
     ///
     /// Panics if either tensor is not 2-D or inner dimensions disagree.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let (m, _, n) = self.matmul_dims(other);
+        let mut out = Tensor::zeros(&[m, n]);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// Matrix multiplication writing into a caller-provided output tensor,
+    /// avoiding the per-call allocation of [`Tensor::matmul`]. `out` is
+    /// overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operands are not 2-D, inner dimensions disagree, or `out`
+    /// is not `[m, n]`.
+    pub fn matmul_into(&self, other: &Tensor, out: &mut Tensor) {
+        let (m, k, n) = self.matmul_dims(other);
+        assert_eq!(out.shape, [m, n], "matmul_into output shape mismatch");
+        crate::kernels::gemm(
+            false,
+            false,
+            m,
+            k,
+            n,
+            &self.data,
+            &other.data,
+            &mut out.data,
+        );
+    }
+
+    fn matmul_dims(&self, other: &Tensor) -> (usize, usize, usize) {
         assert_eq!(self.shape.len(), 2, "matmul lhs must be 2-D");
         assert_eq!(other.shape.len(), 2, "matmul rhs must be 2-D");
         let (m, k) = (self.shape[0], self.shape[1]);
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul inner dimensions disagree");
-        let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for p in 0..k {
-                let a = self.data[i * k + p];
-                if a == 0.0 {
-                    continue;
-                }
-                let row = &other.data[p * n..(p + 1) * n];
-                let dst = &mut out[i * n..(i + 1) * n];
-                for (d, &b) in dst.iter_mut().zip(row) {
-                    *d += a * b;
-                }
-            }
-        }
-        Tensor {
-            shape: vec![m, n],
-            data: out,
-        }
+        (m, k, n)
     }
 
     /// Transpose of a 2-D tensor.
@@ -317,6 +335,31 @@ mod tests {
         let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
         let id = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]).unwrap();
         assert_eq!(a.matmul(&id), a);
+    }
+
+    #[test]
+    fn matmul_into_matches_matmul() {
+        let a = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[3, 4]).unwrap();
+        let b = Tensor::from_vec((0..20).map(|x| x as f32 * 0.5).collect(), &[4, 5]).unwrap();
+        let mut out = Tensor::full(&[3, 5], f32::NAN); // must be fully overwritten
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+    }
+
+    #[test]
+    fn matmul_zero_times_nan_is_nan() {
+        let a = Tensor::from_vec(vec![0.0, 0.0], &[1, 2]).unwrap();
+        let b = Tensor::from_vec(vec![f32::NAN, 1.0], &[2, 1]).unwrap();
+        assert!(a.matmul(&b).as_slice()[0].is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "output shape mismatch")]
+    fn matmul_into_rejects_bad_output_shape() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[3, 2]);
+        let mut out = Tensor::zeros(&[2, 3]);
+        a.matmul_into(&b, &mut out);
     }
 
     #[test]

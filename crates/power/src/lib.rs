@@ -255,6 +255,9 @@ mod tests {
         let a = AreaModel::default();
         let per_node = a.repeater_area_um2(14);
         let pct = per_node / a.node_area_um2(Fabric::Mesh);
-        assert!((0.04..=0.06).contains(&pct), "repeaters are {pct:.3} of mesh");
+        assert!(
+            (0.04..=0.06).contains(&pct),
+            "repeaters are {pct:.3} of mesh"
+        );
     }
 }

@@ -182,21 +182,19 @@ impl Network for MeshSim {
                     Some((inp, _)) => Some(inp),
                     None => {
                         let start = self.routers[r].rr[out];
-                        (0..PORTS)
-                            .map(|k| (start + k) % PORTS)
-                            .find(|&inp| {
-                                if served_inputs[inp] {
-                                    return false;
+                        (0..PORTS).map(|k| (start + k) % PORTS).find(|&inp| {
+                            if served_inputs[inp] {
+                                return false;
+                            }
+                            match self.routers[r].inputs[inp].front() {
+                                Some(&(flit, entered)) => {
+                                    flit.is_head()
+                                        && cycle >= entered + self.router_delay
+                                        && self.route_port(r, flit.packet.dst) == out
                                 }
-                                match self.routers[r].inputs[inp].front() {
-                                    Some(&(flit, entered)) => {
-                                        flit.is_head()
-                                            && cycle >= entered + self.router_delay
-                                            && self.route_port(r, flit.packet.dst) == out
-                                    }
-                                    None => false,
-                                }
-                            })
+                                None => false,
+                            }
+                        })
                     }
                 };
                 let Some(inp) = chosen else { continue };
@@ -262,8 +260,7 @@ impl Network for MeshSim {
                 continue;
             }
             let idx = self.inject_progress[node];
-            self.routers[node].inputs[LOCAL]
-                .push_back((Flit { packet, index: idx }, cycle + 1));
+            self.routers[node].inputs[LOCAL].push_back((Flit { packet, index: idx }, cycle + 1));
             if idx + 1 == packet.flits {
                 self.queues[node].pop_front();
                 self.inject_progress[node] = 0;

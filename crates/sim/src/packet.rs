@@ -70,12 +70,27 @@ mod tests {
     #[test]
     fn head_tail_flags() {
         let p = packet(3);
-        assert!(Flit { packet: p, index: 0 }.is_head());
-        assert!(!Flit { packet: p, index: 0 }.is_tail());
-        assert!(Flit { packet: p, index: 2 }.is_tail());
+        assert!(Flit {
+            packet: p,
+            index: 0
+        }
+        .is_head());
+        assert!(!Flit {
+            packet: p,
+            index: 0
+        }
+        .is_tail());
+        assert!(Flit {
+            packet: p,
+            index: 2
+        }
+        .is_tail());
         // Single-flit packets are both head and tail.
         let c = packet(1);
-        let f = Flit { packet: c, index: 0 };
+        let f = Flit {
+            packet: c,
+            index: 0,
+        };
         assert!(f.is_head() && f.is_tail());
     }
 }

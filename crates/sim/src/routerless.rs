@@ -73,7 +73,11 @@ impl RouterlessSim {
     /// Panics if the table was built for a different node count.
     pub fn with_routing(topo: &Topology, routing: RoutingTable) -> Self {
         let grid = *topo.grid();
-        assert_eq!(routing.num_nodes(), grid.len(), "routing table size mismatch");
+        assert_eq!(
+            routing.num_nodes(),
+            grid.len(),
+            "routing table size mismatch"
+        );
         let lanes = topo
             .loops()
             .iter()
@@ -162,10 +166,7 @@ impl Network for RouterlessSim {
                     }
                     ejected_at[node] += 1;
                     // Eject: deliver into the assembly buffer.
-                    let entry = self
-                        .assembly
-                        .entry(flit.packet.id)
-                        .or_insert((0, 0));
+                    let entry = self.assembly.entry(flit.packet.id).or_insert((0, 0));
                     entry.0 += 1;
                     if entry.0 == flit.packet.flits {
                         let (_, hops) = self.assembly.remove(&flit.packet.id).expect("present");
@@ -299,12 +300,18 @@ mod tests {
         let topo = ring_2x2();
         let mut sim = RouterlessSim::new(&topo);
         // Node 0 → node 2 (3 hops CW), long packet occupies slots.
-        sim.offer(Packet { id: 9, ..single_packet(0, 2, 4) });
+        sim.offer(Packet {
+            id: 9,
+            ..single_packet(0, 2, 4)
+        });
         sim.tick(0); // head flit placed at node 0's slot
         sim.tick(1);
         // Now node 1 wants to inject; the slot at node 1 is occupied by the
         // passing flit each cycle until the first packet fully passes.
-        sim.offer(Packet { id: 10, ..single_packet(1, 0, 1) });
+        sim.offer(Packet {
+            id: 10,
+            ..single_packet(1, 0, 1)
+        });
         let mut arrivals = Vec::new();
         for cycle in 2..30 {
             sim.tick(cycle);
@@ -402,8 +409,14 @@ mod tests {
         // CW: node 1 → node 0 is 3 hops. CCW: node 2 → node 0 is ... CCW
         // order 0,2,3,1: node 2 → 0 is 3 hops too. Wait — pick pairs that
         // arrive together: src 1 via CW (3 hops), src 2 via CCW (3 hops).
-        sim.offer(Packet { id: 1, ..single_packet(1, 0, 1) });
-        sim.offer(Packet { id: 2, ..single_packet(2, 0, 1) });
+        sim.offer(Packet {
+            id: 1,
+            ..single_packet(1, 0, 1)
+        });
+        sim.offer(Packet {
+            id: 2,
+            ..single_packet(2, 0, 1)
+        });
         let mut delivered = Vec::new();
         for cycle in 0..40 {
             sim.tick(cycle);
@@ -420,8 +433,14 @@ mod tests {
         }
         // Unlimited ejection never deflects.
         let mut free = RouterlessSim::new(&topo);
-        free.offer(Packet { id: 1, ..single_packet(1, 0, 1) });
-        free.offer(Packet { id: 2, ..single_packet(2, 0, 1) });
+        free.offer(Packet {
+            id: 1,
+            ..single_packet(1, 0, 1)
+        });
+        free.offer(Packet {
+            id: 2,
+            ..single_packet(2, 0, 1)
+        });
         for cycle in 0..40 {
             free.tick(cycle);
             free.take_deliveries();

@@ -78,11 +78,7 @@ pub fn run_with_source<N: Network>(
         net.tick(cycle);
         for d in net.take_deliveries() {
             if d.packet.measured {
-                metrics.record_delivery(
-                    d.delivered - d.packet.created,
-                    d.hops,
-                    d.packet.flits,
-                );
+                metrics.record_delivery(d.delivered - d.packet.created, d.hops, d.packet.flits);
             }
         }
     }

@@ -38,6 +38,7 @@ pub struct SweepResult {
 /// Saturation criterion: average latency exceeding `latency_factor` × the
 /// zero-load latency, or the delivery ratio dropping below 0.85 — the
 /// conventional "network saturates" cutoff for latency-throughput curves.
+#[allow(clippy::too_many_arguments)] // sweep knobs mirror the paper's sweep parameters 1:1
 pub fn latency_sweep<N: Network>(
     mut factory: impl FnMut() -> N,
     pattern: Pattern,

@@ -222,7 +222,10 @@ mod tests {
             seen[d] = true;
         }
         let covered = seen.iter().filter(|&&s| s).count();
-        assert!(covered > g.len() / 2, "rotation covers most nodes: {covered}");
+        assert!(
+            covered > g.len() / 2,
+            "rotation covers most nodes: {covered}"
+        );
     }
 
     #[test]

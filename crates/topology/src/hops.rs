@@ -274,7 +274,10 @@ mod tests {
         // Paper Figure 5: a 2x2 NoC with one clockwise loop.
         let g = grid(2);
         let mut m = HopMatrix::new(g);
-        m.apply_loop(&g, &RectLoop::new(0, 0, 1, 1, Direction::Clockwise).unwrap());
+        m.apply_loop(
+            &g,
+            &RectLoop::new(0, 0, 1, 1, Direction::Clockwise).unwrap(),
+        );
         // Node ids: 0=(0,0) 1=(1,0) 2=(0,1) 3=(1,1); CW order 0,1,3,2.
         assert_eq!(m.hops(0, 1), 1);
         assert_eq!(m.hops(0, 3), 2);
@@ -337,7 +340,10 @@ mod tests {
     fn improvement_if_added_matches_apply() {
         let g = grid(4);
         let mut m = HopMatrix::new(g);
-        m.apply_loop(&g, &RectLoop::new(0, 0, 3, 3, Direction::Clockwise).unwrap());
+        m.apply_loop(
+            &g,
+            &RectLoop::new(0, 0, 3, 3, Direction::Clockwise).unwrap(),
+        );
         let l2 = RectLoop::new(0, 0, 3, 3, Direction::Counterclockwise).unwrap();
         let before: u64 = m.as_slice().iter().map(|&h| u64::from(h)).sum();
         let gain = m.improvement_if_added(&g, &l2);
@@ -351,7 +357,10 @@ mod tests {
     fn average_hops_single_full_ring_4x4() {
         let g = grid(4);
         let mut m = HopMatrix::new(g);
-        m.apply_loop(&g, &RectLoop::new(0, 0, 3, 3, Direction::Clockwise).unwrap());
+        m.apply_loop(
+            &g,
+            &RectLoop::new(0, 0, 3, 3, Direction::Clockwise).unwrap(),
+        );
         // 12 perimeter nodes on a cycle of length 12: average directed
         // distance over distinct pairs is (1+2+...+11)/11 = 6.
         let avg = m.average_connected_hops().unwrap();

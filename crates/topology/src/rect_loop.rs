@@ -466,7 +466,10 @@ mod tests {
         assert!(l.contains_coord(0, 0));
         assert!(l.contains_coord(1, 0));
         assert!(l.contains_coord(2, 1));
-        assert!(!l.contains_coord(1, 1), "interior nodes are not on the loop");
+        assert!(
+            !l.contains_coord(1, 1),
+            "interior nodes are not on the loop"
+        );
         assert!(!l.contains_coord(3, 0));
     }
 }

@@ -68,7 +68,7 @@ pub fn render_ascii(topo: &Topology) -> String {
             for x in 0..w {
                 let c = count(grid.node_at(x, y), grid.node_at(x, y + 1));
                 if c == 0 {
-                    out.push_str(" ");
+                    out.push(' ');
                 } else {
                     let digits = format!("{c}");
                     out.push_str(&digits[..1]);

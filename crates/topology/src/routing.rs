@@ -2,11 +2,12 @@ use crate::{NodeId, Topology};
 use serde::{Deserialize, Serialize};
 
 /// How the per-source lookup table picks among candidate loops.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub enum RoutingPolicy {
     /// Always the fewest-hop loop; ties break toward the earlier-added
     /// loop. Deterministic and hop-optimal, but adversarial patterns can
     /// pile every flow onto one loop.
+    #[default]
     Shortest,
     /// Among loops within `slack` hops of the best, pick the one with the
     /// least traffic already assigned (greedy global balancing, weighting
@@ -16,12 +17,6 @@ pub enum RoutingPolicy {
         /// Extra hops tolerated relative to the shortest candidate.
         slack: usize,
     },
-}
-
-impl Default for RoutingPolicy {
-    fn default() -> Self {
-        RoutingPolicy::Shortest
-    }
 }
 
 /// A single routing decision: which loop a source injects on to reach a
@@ -89,7 +84,10 @@ impl RoutingTable {
                         continue;
                     }
                     let hops = (pj + len - pi) % len;
-                    candidates[a * n + b].push(Route { loop_index: i, hops });
+                    candidates[a * n + b].push(Route {
+                        loop_index: i,
+                        hops,
+                    });
                 }
             }
         }
@@ -97,10 +95,7 @@ impl RoutingTable {
         match policy {
             RoutingPolicy::Shortest => {
                 for (cell, cands) in entries.iter_mut().zip(&candidates) {
-                    *cell = cands
-                        .iter()
-                        .copied()
-                        .min_by_key(|r| (r.hops, r.loop_index));
+                    *cell = cands.iter().copied().min_by_key(|r| (r.hops, r.loop_index));
                 }
             }
             RoutingPolicy::Balanced { slack } => {
@@ -200,10 +195,22 @@ mod tests {
         let b = g.node_at(3, 0);
         // CW reaches b in 3 hops, CCW in 9: table must pick CW (index 0).
         let r = table.route(a, b).unwrap();
-        assert_eq!(r, Route { loop_index: 0, hops: 3 });
+        assert_eq!(
+            r,
+            Route {
+                loop_index: 0,
+                hops: 3
+            }
+        );
         // And the reverse pair prefers CCW.
         let r = table.route(b, a).unwrap();
-        assert_eq!(r, Route { loop_index: 1, hops: 3 });
+        assert_eq!(
+            r,
+            Route {
+                loop_index: 1,
+                hops: 3
+            }
+        );
     }
 
     #[test]
@@ -257,7 +264,9 @@ mod tests {
                 }
             }
         }
-        assert!((shortest.average_hops().unwrap() - balanced.average_hops().unwrap()).abs() < 1e-12);
+        assert!(
+            (shortest.average_hops().unwrap() - balanced.average_hops().unwrap()).abs() < 1e-12
+        );
     }
 
     #[test]
@@ -284,7 +293,10 @@ mod tests {
                 }
             }
         }
-        assert!(used[0] > 0 && used[1] > 0, "both loops must carry traffic: {used:?}");
+        assert!(
+            used[0] > 0 && used[1] > 0,
+            "both loops must carry traffic: {used:?}"
+        );
     }
 
     #[test]

@@ -263,7 +263,8 @@ mod tests {
     fn cap_enforced() {
         let g = Grid::square(4).unwrap();
         let mut t = Topology::new(g);
-        t.add_loop_with_cap(outer(4, Direction::Clockwise), 1).unwrap();
+        t.add_loop_with_cap(outer(4, Direction::Clockwise), 1)
+            .unwrap();
         let err = t
             .add_loop_with_cap(outer(4, Direction::Counterclockwise), 1)
             .unwrap_err();

@@ -238,7 +238,11 @@ impl PacketSource for AppTrafficGen {
 
         let mut out = Vec::new();
         for src in 0..self.grid.len() {
-            let flip = if self.on[src] { p_leave_on } else { p_leave_off };
+            let flip = if self.on[src] {
+                p_leave_on
+            } else {
+                p_leave_off
+            };
             if self.rng.gen_bool(flip.clamp(0.0, 1.0)) {
                 self.on[src] = !self.on[src];
             }
@@ -384,7 +388,12 @@ mod tests {
             drain: 1_000,
             ..SimConfig::mesh()
         };
-        let m = run_benchmark(&mut MeshSim::mesh2(grid()), Benchmark::Fluidanimate, &cfg, 7);
+        let m = run_benchmark(
+            &mut MeshSim::mesh2(grid()),
+            Benchmark::Fluidanimate,
+            &cfg,
+            7,
+        );
         assert!(m.packets > 0, "bursty source must deliver packets");
         assert!(m.delivery_ratio() > 0.95);
         assert!(m.avg_packet_latency() > 0.0);

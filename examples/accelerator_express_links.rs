@@ -14,7 +14,6 @@
 
 use rlnoc::drl::envs::ExpressLinkEnv;
 use rlnoc::drl::explorer::{Explorer, ExplorerConfig};
-use rlnoc::drl::Environment;
 use rlnoc::topology::{mesh, Grid};
 
 fn main() {
@@ -52,7 +51,10 @@ fn main() {
         .iter()
         .max_by(|a, b| a.final_return.total_cmp(&b.final_return))
         .expect("at least one cycle ran");
-    println!("\nbest express-link plan (avg hops {:.3}):", best.env.average_hops());
+    println!(
+        "\nbest express-link plan (avg hops {:.3}):",
+        best.env.average_hops()
+    );
     for l in best.env.links() {
         println!(
             "  ({}, {}) -> ({}, {}){}",
@@ -60,7 +62,11 @@ fn main() {
             l.y1,
             l.x2,
             l.y2,
-            if l.bidirectional { "  (bidirectional)" } else { "" }
+            if l.bidirectional {
+                "  (bidirectional)"
+            } else {
+                ""
+            }
         );
     }
     let improvement =

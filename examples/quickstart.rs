@@ -48,9 +48,15 @@ fn main() {
 
     // 3. Compare hop counts against the baselines.
     let rec = rec_topology(grid).expect("REC works for any even grid");
-    println!("average hops: mesh {:.3} (2 cycles/hop)", mesh::average_hops(&grid));
+    println!(
+        "average hops: mesh {:.3} (2 cycles/hop)",
+        mesh::average_hops(&grid)
+    );
     println!("average hops: REC  {:.3} (1 cycle/hop)", rec.average_hops());
-    println!("average hops: DRL  {:.3} (1 cycle/hop)", drl_topo.average_hops());
+    println!(
+        "average hops: DRL  {:.3} (1 cycle/hop)",
+        drl_topo.average_hops()
+    );
 
     // 4. Verify in the flit-level simulator under uniform random traffic.
     let rl_cfg = SimConfig {
@@ -66,9 +72,27 @@ fn main() {
         ..SimConfig::mesh()
     };
     let rate = 0.05;
-    let m_mesh = run_synthetic(&mut MeshSim::mesh2(grid), Pattern::UniformRandom, rate, &mesh_cfg, 1);
-    let m_rec = run_synthetic(&mut RouterlessSim::new(&rec), Pattern::UniformRandom, rate, &rl_cfg, 1);
-    let m_drl = run_synthetic(&mut RouterlessSim::new(&drl_topo), Pattern::UniformRandom, rate, &rl_cfg, 1);
+    let m_mesh = run_synthetic(
+        &mut MeshSim::mesh2(grid),
+        Pattern::UniformRandom,
+        rate,
+        &mesh_cfg,
+        1,
+    );
+    let m_rec = run_synthetic(
+        &mut RouterlessSim::new(&rec),
+        Pattern::UniformRandom,
+        rate,
+        &rl_cfg,
+        1,
+    );
+    let m_drl = run_synthetic(
+        &mut RouterlessSim::new(&drl_topo),
+        Pattern::UniformRandom,
+        rate,
+        &rl_cfg,
+        1,
+    );
     println!("\npacket latency at {rate} flits/node/cycle (uniform random):");
     println!("  Mesh-2: {:.2} cycles", m_mesh.avg_packet_latency());
     println!("  REC:    {:.2} cycles", m_rec.avg_packet_latency());

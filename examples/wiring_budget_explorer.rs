@@ -72,10 +72,7 @@ fn main() {
         .iter()
         .map(|&(_, h, _)| h)
         .fold(f64::INFINITY, f64::min);
-    if let Some(&(cap, hops, mw)) = frontier
-        .iter()
-        .find(|&&(_, h, _)| h <= best_hops * 1.05)
-    {
+    if let Some(&(cap, hops, mw)) = frontier.iter().find(|&&(_, h, _)| h <= best_hops * 1.05) {
         println!(
             "\nRecommendation: cap {cap} — {hops:.3} avg hops at {mw:.3} mW/node is within\n\
              5% of the best hop count at the lowest wiring budget."

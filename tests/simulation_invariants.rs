@@ -105,7 +105,13 @@ fn power_model_orders_fabrics_like_the_paper() {
     let drl = greedy_rollout(g, 14);
     let pattern = Pattern::UniformRandom;
     let m_mesh = run_synthetic(&mut MeshSim::mesh2(g), pattern, 0.05, &cfg(3, 3_000), 5);
-    let m_drl = run_synthetic(&mut RouterlessSim::new(&drl), pattern, 0.05, &cfg(5, 3_000), 5);
+    let m_drl = run_synthetic(
+        &mut RouterlessSim::new(&drl),
+        pattern,
+        0.05,
+        &cfg(5, 3_000),
+        5,
+    );
     let power = PowerModel::default();
     let p_mesh = power.from_metrics(Fabric::Mesh, &m_mesh).total_mw();
     let p_drl = power

@@ -1,0 +1,152 @@
+//! Offline, in-tree subset of `criterion`.
+//!
+//! Implements `Criterion::bench_function`, `Bencher::iter`, `black_box`,
+//! and the `criterion_group!`/`criterion_main!` macros with a simple
+//! adaptive timer: each benchmark is calibrated with a warmup pass, then
+//! timed over enough iterations to smooth scheduler noise, and the median
+//! of `sample_size` samples is reported as ns/iter.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-sample time budget; iteration counts are chosen to roughly fill it.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(5);
+
+/// Benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timing samples collected per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs `f` as a named benchmark and prints its median time per
+    /// iteration.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher { ns_per_iter: 0.0 };
+            f(&mut bencher);
+            samples.push(bencher.ns_per_iter);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        println!("{id:<48} time: {}", format_ns(median));
+        self
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `inner`, storing nanoseconds per iteration.
+    pub fn iter<O, F>(&mut self, mut inner: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Calibrate with a single warm-up call.
+        let start = Instant::now();
+        black_box(inner());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+
+        let iterations = (SAMPLE_BUDGET.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iterations {
+            black_box(inner());
+        }
+        let elapsed = start.elapsed();
+        self.ns_per_iter = elapsed.as_nanos() as f64 / iterations as f64;
+    }
+}
+
+/// Formats nanoseconds with an adaptive unit.
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench(c: &mut Criterion) {
+        c.bench_function("sum_0_to_99", |b| {
+            b.iter(|| (0u64..100).map(black_box).sum::<u64>())
+        });
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(2);
+        targets = tiny_bench
+    }
+
+    #[test]
+    fn group_runs() {
+        benches();
+    }
+
+    #[test]
+    fn formats_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_500.0).ends_with("µs"));
+        assert!(format_ns(12_500_000.0).ends_with("ms"));
+        assert!(format_ns(2.5e9).ends_with(" s"));
+    }
+}

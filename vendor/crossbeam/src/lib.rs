@@ -1,0 +1,16 @@
+//! Offline placeholder for `crossbeam`.
+//!
+//! The workspace declares this dependency but does not currently use it;
+//! `thread::scope` is provided as a thin forward to the std implementation
+//! so existing call-sites (if any appear) keep working.
+
+/// Scoped-thread helpers.
+pub mod thread {
+    /// Forwards to [`std::thread::scope`].
+    pub fn scope<'env, F, T>(f: F) -> std::thread::Result<T>
+    where
+        F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> T,
+    {
+        Ok(std::thread::scope(f))
+    }
+}

@@ -1,0 +1,271 @@
+//! Offline, in-tree subset of `proptest`.
+//!
+//! Supports the surface this workspace uses: the [`proptest!`] runner macro
+//! (with optional `#![proptest_config(...)]`), `prop_assert!`-family macros,
+//! `prop_assume!`, numeric range strategies, tuple strategies, `any::<T>()`,
+//! `prop::collection::vec`, and `Strategy::prop_filter_map`/`prop_map`.
+//!
+//! Unlike upstream proptest there is no shrinking: a failing case reports
+//! the assertion message and the deterministic per-test RNG makes the
+//! failure reproducible by rerunning the test.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Number of elements a [`vec`] strategy may produce.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(len: usize) -> Self {
+            SizeRange {
+                min: len,
+                max_exclusive: len + 1,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(range: core::ops::Range<usize>) -> Self {
+            assert!(range.start < range.end, "empty size range");
+            SizeRange {
+                min: range.start,
+                max_exclusive: range.end,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of elements drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Creates a strategy for vectors with lengths in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<Self::Value> {
+            let len = if self.size.min + 1 == self.size.max_exclusive {
+                self.size.min
+            } else {
+                rng.gen_range(self.size.min..self.size.max_exclusive)
+            };
+            let mut out = Vec::with_capacity(len);
+            for _ in 0..len {
+                out.push(self.element.sample(rng)?);
+            }
+            Some(out)
+        }
+    }
+}
+
+/// Namespace mirror so `prop::collection::vec` resolves after a prelude glob.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Arbitrary, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Marker message used by [`prop_assume!`] to signal a rejected case.
+#[doc(hidden)]
+pub const ASSUME_REJECTED: &str = "__proptest_assume_rejected__";
+
+/// Defines property tests over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ($cfg:expr;) => {};
+    ($cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            let strategy = ($($strat,)+);
+            let mut cases_run: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = config.cases.saturating_mul(256).max(1024);
+            while cases_run < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= max_attempts,
+                    "proptest {}: too many rejected samples ({} accepted of {} wanted)",
+                    stringify!($name), cases_run, config.cases
+                );
+                let Some(($($arg,)+)) =
+                    $crate::strategy::Strategy::sample(&strategy, &mut rng)
+                else {
+                    continue; // strategy-level rejection (e.g. prop_filter_map)
+                };
+                let outcome: ::std::result::Result<(), ::std::string::String> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    Ok(()) => cases_run += 1,
+                    Err(msg) if msg == $crate::ASSUME_REJECTED => {}
+                    Err(msg) => panic!(
+                        "proptest {} failed on case {}: {}",
+                        stringify!($name), cases_run, msg
+                    ),
+                }
+            }
+        }
+        $crate::__proptest_fns!($cfg; $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond), file!(), line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} ({}) at {}:{}",
+                stringify!($cond), format!($($fmt)+), file!(), line!()
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "left: {:?}, right: {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "left: {:?}, right: {:?}: {}", l, r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "both: {:?}", l);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "both: {:?}: {}", l, format!($($fmt)+));
+    }};
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::string::String::from(
+                $crate::ASSUME_REJECTED,
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 3usize..17, f in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn filter_map_applies(v in (0u32..10).prop_filter_map("odd only", |x| {
+            if x % 2 == 1 { Some(x) } else { None }
+        })) {
+            prop_assert_eq!(v % 2, 1);
+        }
+
+        #[test]
+        fn vec_respects_size(v in prop::collection::vec(0u32..5, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn assume_skips(x in 0u32..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in any::<u64>(), b in any::<bool>()) {
+            prop_assert!(x / 2 <= x);
+            prop_assert!(u64::from(b) <= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed on case")]
+    fn failures_panic() {
+        proptest! {
+            #[allow(unused)]
+            fn inner(x in 0u32..4) {
+                prop_assert!(x > 100, "x = {}", x);
+            }
+        }
+        inner();
+    }
+}

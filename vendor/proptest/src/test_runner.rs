@@ -1,0 +1,59 @@
+//! Test configuration and the deterministic per-test RNG.
+
+use rand::prelude::*;
+
+/// Configuration for a [`proptest!`](crate::proptest) block.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Builds a config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// Deterministic generator seeded from the test's fully-qualified name, so
+/// every run of a given test sees the same sequence of cases.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Seeds the generator from `name` (FNV-1a over the bytes).
+    pub fn deterministic(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in name.as_bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(hash),
+        }
+    }
+
+    /// Raw 64 random bits (used by [`crate::strategy::Arbitrary`]).
+    pub fn next_raw(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+impl rand::RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}

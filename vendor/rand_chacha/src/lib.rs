@@ -1,0 +1,12 @@
+//! Offline placeholder for `rand_chacha`.
+//!
+//! The workspace declares this dependency but never imports it; the alias
+//! below keeps the crate name resolvable should a future consumer want a
+//! seedable generator under the familiar type name.
+
+/// Alias to the vendored standard generator (not an actual ChaCha stream).
+pub type ChaCha8Rng = rand::rngs::StdRng;
+/// Alias to the vendored standard generator (not an actual ChaCha stream).
+pub type ChaCha12Rng = rand::rngs::StdRng;
+/// Alias to the vendored standard generator (not an actual ChaCha stream).
+pub type ChaCha20Rng = rand::rngs::StdRng;

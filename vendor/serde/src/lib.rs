@@ -1,0 +1,367 @@
+//! Offline, in-tree subset of `serde`.
+//!
+//! Instead of upstream serde's visitor architecture, this subset models
+//! serialization as conversion to and from an owned [`Value`] tree. The
+//! derive macros in the companion `serde_derive` crate generate
+//! [`Serialize`]/[`Deserialize`] impls against these traits, and the
+//! vendored `serde_json` crate renders [`Value`] to and from JSON text with
+//! the same data layout upstream serde_json would produce for the types in
+//! this workspace (structs as objects, unit enum variants as strings,
+//! struct enum variants as single-key objects).
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A dynamically-typed serialization tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered map with string keys (order is preserved).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up `key` in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Returns the object fields if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Returns the elements if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Returns the string if this is a string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns any numeric value as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(v) => Some(v as f64),
+            Value::UInt(v) => Some(v as f64),
+            Value::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns any non-negative integer value as `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::Int(v) if v >= 0 => Some(v as u64),
+            Value::UInt(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns any integral value as `i64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(v) => Some(v),
+            Value::UInt(v) if v <= i64::MAX as u64 => Some(v as i64),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean if this is a boolean value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Short human-readable description of the value's kind, for errors.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Error produced by deserialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+
+    /// A type-mismatch error.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        Error::custom(format!("expected {what}, got {}", got.kind()))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into a [`Value`] tree.
+pub trait Serialize {
+    /// Serializes `self` into a [`Value`].
+    fn serialize(&self) -> Value;
+}
+
+/// Conversion from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`].
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_bool()
+            .ok_or_else(|| Error::expected("bool", value))
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),+) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let raw = value
+                    .as_u64()
+                    .ok_or_else(|| Error::expected("unsigned integer", value))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::custom(format!("integer {raw} out of range")))
+            }
+        }
+    )+};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),+) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let raw = value
+                    .as_i64()
+                    .ok_or_else(|| Error::expected("integer", value))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::custom(format!("integer {raw} out of range")))
+            }
+        }
+    )+};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .ok_or_else(|| Error::expected("number", value))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .map(|v| v as f32)
+            .ok_or_else(|| Error::expected("number", value))
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::expected("string", value))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::expected("array", value))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self) -> Value {
+        Value::Array(vec![self.0.serialize(), self.1.serialize()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| Error::expected("array", value))?;
+        if items.len() != 2 {
+            return Err(Error::custom(format!(
+                "expected 2-element array, got {} elements",
+                items.len()
+            )));
+        }
+        Ok((A::deserialize(&items[0])?, B::deserialize(&items[1])?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(usize::deserialize(&7usize.serialize()), Ok(7));
+        assert_eq!(i64::deserialize(&(-3i64).serialize()), Ok(-3));
+        assert_eq!(f32::deserialize(&1.5f32.serialize()), Ok(1.5));
+        assert_eq!(bool::deserialize(&true.serialize()), Ok(true));
+        assert_eq!(
+            String::deserialize(&"hi".to_string().serialize()),
+            Ok("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1.0f32, 2.0, 3.0];
+        assert_eq!(Vec::<f32>::deserialize(&v.serialize()), Ok(v));
+        let opt: Option<u32> = None;
+        assert_eq!(Option::<u32>::deserialize(&opt.serialize()), Ok(None));
+        assert_eq!(
+            Option::<u32>::deserialize(&Some(4u32).serialize()),
+            Ok(Some(4))
+        );
+    }
+
+    #[test]
+    fn type_mismatch_is_an_error() {
+        assert!(u32::deserialize(&Value::Str("x".into())).is_err());
+        assert!(String::deserialize(&Value::UInt(1)).is_err());
+        assert!(u8::deserialize(&Value::UInt(300)).is_err());
+    }
+}

@@ -1,0 +1,331 @@
+//! Offline, in-tree subset of `serde_derive`.
+//!
+//! Generates impls of the vendored `serde::Serialize` / `serde::Deserialize`
+//! traits (which convert to/from an owned `serde::Value` tree). Supported
+//! shapes — exactly what this workspace derives on:
+//!
+//! - structs with named fields
+//! - enums whose variants are unit variants or struct variants
+//!
+//! Generics, tuple structs, and tuple variants are rejected with a compile
+//! error. The macro parses the raw token stream directly (no `syn`/`quote`,
+//! which are unavailable offline) and emits the impl source as text.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let source = match &item {
+        Item::Struct { name, fields } => serialize_struct(name, fields),
+        Item::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    source
+        .parse()
+        .expect("serde_derive: generated invalid Rust")
+}
+
+/// Derives the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let source = match &item {
+        Item::Struct { name, fields } => deserialize_struct(name, fields),
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    source
+        .parse()
+        .expect("serde_derive: generated invalid Rust")
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, `Some(field names)` for struct variants.
+    fields: Option<Vec<String>>,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attributes_and_visibility(&tokens, &mut pos);
+
+    let keyword = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive (vendored): generic type `{name}` is not supported");
+    }
+
+    let body = match tokens.get(pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde derive (vendored): `{name}` must have a brace-delimited body, found {other:?}"
+        ),
+    };
+
+    match keyword.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_named_fields(body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variants(body),
+        },
+        other => panic!("serde derive (vendored): unsupported item kind `{other}`"),
+    }
+}
+
+fn skip_attributes_and_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            // `#[...]` attribute (doc comments included).
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *pos += 1;
+                }
+            }
+            // `pub` / `pub(crate)` visibility.
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *pos += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(id)) => {
+            *pos += 1;
+            id.to_string()
+        }
+        other => panic!("serde derive (vendored): expected identifier, found {other:?}"),
+    }
+}
+
+/// Parses `name: Type, name: Type, ...` from a struct or variant body.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let field = expect_ident(&tokens, &mut pos);
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!(
+                "serde derive (vendored): expected `:` after field `{field}`, found {other:?} \
+                 (tuple structs are not supported)"
+            ),
+        }
+        fields.push(field);
+        // Skip the type: commas nested in `<...>` belong to the type, commas
+        // inside `(...)`/`[...]` are hidden inside groups already.
+        let mut angle_depth = 0usize;
+        while let Some(token) = tokens.get(pos) {
+            if let TokenTree::Punct(p) = token {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth = angle_depth.saturating_sub(1),
+                    ',' if angle_depth == 0 => {
+                        pos += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            pos += 1;
+        }
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                pos += 1;
+                Some(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde derive (vendored): tuple variant `{name}` is not supported");
+            }
+            _ => None,
+        };
+        // Skip an optional discriminant and the trailing comma.
+        while let Some(token) = tokens.get(pos) {
+            pos += 1;
+            if matches!(token, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn serialize_struct(name: &str, fields: &[String]) -> String {
+    let mut pushes = String::new();
+    for field in fields {
+        pushes.push_str(&format!(
+            "(String::from(\"{field}\"), ::serde::Serialize::serialize(&self.{field})),"
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(vec![{pushes}])\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &[String]) -> String {
+    let mut inits = String::new();
+    for field in fields {
+        inits.push_str(&format!(
+            "{field}: ::serde::Deserialize::deserialize(value.get(\"{field}\")\
+                 .ok_or_else(|| ::serde::Error::custom(\"missing field `{field}` in {name}\"))?)?,"
+        ));
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                 if value.as_object().is_none() {{\n\
+                     return Err(::serde::Error::expected(\"object for {name}\", value));\n\
+                 }}\n\
+                 Ok({name} {{ {inits} }})\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for variant in variants {
+        let vname = &variant.name;
+        match &variant.fields {
+            None => arms.push_str(&format!(
+                "{name}::{vname} => ::serde::Value::Str(String::from(\"{vname}\")),"
+            )),
+            Some(fields) => {
+                let bindings = fields.join(", ");
+                let mut pushes = String::new();
+                for field in fields {
+                    pushes.push_str(&format!(
+                        "(String::from(\"{field}\"), ::serde::Serialize::serialize({field})),"
+                    ));
+                }
+                arms.push_str(&format!(
+                    "{name}::{vname} {{ {bindings} }} => ::serde::Value::Object(vec![\
+                         (String::from(\"{vname}\"), ::serde::Value::Object(vec![{pushes}])),\
+                     ]),"
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{\n\
+                 match self {{ {arms} }}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| v.fields.is_none())
+        .map(|v| format!("\"{vname}\" => return Ok({name}::{vname}),", vname = v.name))
+        .collect();
+    let mut struct_arms = String::new();
+    for variant in variants {
+        let Some(fields) = &variant.fields else {
+            continue;
+        };
+        let vname = &variant.name;
+        let mut inits = String::new();
+        for field in fields {
+            inits.push_str(&format!(
+                "{field}: ::serde::Deserialize::deserialize(inner.get(\"{field}\")\
+                     .ok_or_else(|| ::serde::Error::custom(\
+                         \"missing field `{field}` in {name}::{vname}\"))?)?,"
+            ));
+        }
+        struct_arms.push_str(&format!(
+            "\"{vname}\" => return Ok({name}::{vname} {{ {inits} }}),"
+        ));
+    }
+
+    let mut body = String::new();
+    body.push_str(&format!(
+        "if let Some(tag) = value.as_str() {{\n\
+             match tag {{\n\
+                 {unit_arms}\n\
+                 other => return Err(::serde::Error::custom(\
+                     format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+             }}\n\
+         }}\n"
+    ));
+    if !struct_arms.is_empty() {
+        body.push_str(&format!(
+            "if let Some(fields) = value.as_object() {{\n\
+                 if fields.len() == 1 {{\n\
+                     let (tag, inner) = &fields[0];\n\
+                     match tag.as_str() {{\n\
+                         {struct_arms}\n\
+                         other => return Err(::serde::Error::custom(\
+                             format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                     }}\n\
+                 }}\n\
+             }}\n"
+        ));
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+                 Err(::serde::Error::expected(\"enum {name}\", value))\n\
+             }}\n\
+         }}"
+    )
+}
