@@ -1,0 +1,76 @@
+//! Criterion benchmarks for the simulator cycle kernel: `sim_tick`
+//! throughput for the routerless and mesh fabrics at the paper's grid
+//! sizes (4x4, 8x8, 10x10), at low load and near saturation, with the
+//! retained reference kernels alongside for direct comparison.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rlnoc_baselines::rec_topology;
+use rlnoc_sim::reference::{ReferenceMeshSim, ReferenceRouterlessSim};
+use rlnoc_sim::traffic::{Pattern, TrafficGen};
+use rlnoc_sim::{MeshSim, Network, SimConfig};
+use rlnoc_topology::Grid;
+
+const CYCLES: u64 = 1_000;
+
+/// Drives `net` for [`CYCLES`] cycles through the sink-based zero-alloc
+/// loop (fresh traffic each iteration, buffers reused across cycles).
+fn drive<N: Network>(net: &mut N, grid: Grid, rate: f64, cfg: &SimConfig) {
+    let mut gen = TrafficGen::new(grid, Pattern::UniformRandom, rate, 3);
+    let mut fresh = Vec::new();
+    let mut delivered = Vec::new();
+    for cycle in 0..CYCLES {
+        fresh.clear();
+        gen.generate_into(cycle, cfg, false, &mut fresh);
+        for p in fresh.drain(..) {
+            net.offer(p);
+        }
+        net.tick(cycle);
+        delivered.clear();
+        net.drain_deliveries(&mut delivered);
+        black_box(delivered.len());
+    }
+}
+
+fn bench_sim_tick(c: &mut Criterion) {
+    let rl_cfg = SimConfig::routerless();
+    let mesh_cfg = SimConfig::mesh();
+    for n in [4usize, 8, 10] {
+        let grid = Grid::square(n).unwrap();
+        let rec = rec_topology(grid).unwrap();
+        // The mesh saturates far below the routerless fabrics, so its
+        // "near-saturation" point sits at a lower injection rate.
+        for (load, rl_rate, mesh_rate) in [("low", 0.05, 0.05), ("near_sat", 0.25, 0.10)] {
+            c.bench_function(&format!("sim_tick/routerless_{n}x{n}_{load}"), |b| {
+                b.iter(|| {
+                    let mut sim = rlnoc_sim::RouterlessSim::new(&rec);
+                    drive(&mut sim, grid, rl_rate, &rl_cfg);
+                })
+            });
+            c.bench_function(&format!("sim_tick/routerless_ref_{n}x{n}_{load}"), |b| {
+                b.iter(|| {
+                    let mut sim = ReferenceRouterlessSim::new(&rec);
+                    drive(&mut sim, grid, rl_rate, &rl_cfg);
+                })
+            });
+            c.bench_function(&format!("sim_tick/mesh2_{n}x{n}_{load}"), |b| {
+                b.iter(|| {
+                    let mut sim = MeshSim::mesh2(grid);
+                    drive(&mut sim, grid, mesh_rate, &mesh_cfg);
+                })
+            });
+            c.bench_function(&format!("sim_tick/mesh2_ref_{n}x{n}_{load}"), |b| {
+                b.iter(|| {
+                    let mut sim = ReferenceMeshSim::mesh2(grid);
+                    drive(&mut sim, grid, mesh_rate, &mesh_cfg);
+                })
+            });
+        }
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sim_tick
+}
+criterion_main!(benches);

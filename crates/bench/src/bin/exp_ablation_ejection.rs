@@ -10,6 +10,7 @@
 //! (defaults 8, 0.20, 4000).
 
 use rlnoc_bench::{drl_topology, print_table, s, write_csv, Effort};
+use rlnoc_sim::sweep::SweepEngine;
 use rlnoc_sim::traffic::Pattern;
 use rlnoc_sim::{run_synthetic, RouterlessSim, SimConfig};
 use rlnoc_topology::Grid;
@@ -28,20 +29,20 @@ fn main() {
         ..SimConfig::routerless()
     };
 
-    let mut rows = Vec::new();
-    for limit in [Some(1usize), Some(2), Some(4), None] {
+    let limits = [Some(1usize), Some(2), Some(4), None];
+    let rows = SweepEngine::available().map(&limits, |_, &limit| {
         let mut sim = RouterlessSim::new(&topo);
         sim.set_ejection_limit(limit);
         let m = run_synthetic(&mut sim, Pattern::UniformRandom, rate, &cfg, 11);
-        rows.push(vec![
+        vec![
             limit.map_or_else(|| s("per-loop (REC)"), |l| format!("{l}/node")),
             format!("{:.2}", m.avg_packet_latency()),
             format!("{:.2}", m.avg_hops()),
             format!("{:.3}", m.accepted_throughput()),
             s(sim.deflections()),
             format!("{:.3}", m.delivery_ratio()),
-        ]);
-    }
+        ]
+    });
 
     let headers = [
         "ejection_ports",

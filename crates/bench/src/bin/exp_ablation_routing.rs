@@ -9,7 +9,7 @@
 //! Usage: `exp_ablation_routing [n] [measure_cycles]` (defaults 8, 3000).
 
 use rlnoc_bench::{drl_topology, print_table, s, write_csv, Effort};
-use rlnoc_sim::sweep::latency_sweep;
+use rlnoc_sim::sweep::{SweepEngine, SweepJob, SweepParams};
 use rlnoc_sim::traffic::Pattern;
 use rlnoc_sim::{RouterlessSim, SimConfig};
 use rlnoc_topology::{Grid, RoutingPolicy, RoutingTable};
@@ -34,7 +34,17 @@ fn main() {
         ("balanced(4)", RoutingPolicy::Balanced { slack: 4 }),
     ];
 
-    let mut rows = Vec::new();
+    let params = SweepParams {
+        start: 0.02,
+        step: 0.02,
+        max_rate: 0.8,
+        latency_factor: 4.0,
+        seed: 5,
+    };
+
+    // One batched engine run over all pattern x policy sweeps.
+    let mut jobs = Vec::new();
+    let mut meta = Vec::new();
     for pattern in [
         Pattern::UniformRandom,
         Pattern::BitComplement,
@@ -44,24 +54,28 @@ fn main() {
         for (name, policy) in policies {
             let table = RoutingTable::build_with(&topo, policy);
             let avg = table.average_hops().unwrap_or(0.0);
-            let sweep = latency_sweep(
-                || RouterlessSim::with_routing(&topo, table.clone()),
+            let topo = &topo;
+            jobs.push(SweepJob::new(
+                format!("{pattern:?}/{name}"),
                 pattern,
-                &cfg,
-                0.02,
-                0.02,
-                0.8,
-                4.0,
-                5,
-            );
-            rows.push(vec![
-                format!("{pattern:?}"),
-                s(name),
-                format!("{avg:.3}"),
-                format!("{:.2}", sweep.zero_load_latency),
-                format!("{:.3}", sweep.saturation),
-            ]);
+                cfg.clone(),
+                params,
+                move || RouterlessSim::with_routing(topo, table.clone()),
+            ));
+            meta.push((pattern, name, avg));
         }
+    }
+    let results = SweepEngine::available().sweep_many(&jobs);
+
+    let mut rows = Vec::new();
+    for ((pattern, name, avg), sweep) in meta.iter().zip(&results) {
+        rows.push(vec![
+            format!("{pattern:?}"),
+            s(name),
+            format!("{avg:.3}"),
+            format!("{:.2}", sweep.zero_load_latency),
+            format!("{:.3}", sweep.saturation),
+        ]);
     }
 
     let headers = [

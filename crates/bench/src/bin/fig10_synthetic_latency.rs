@@ -2,13 +2,17 @@
 //! workloads (uniform random, tornado, bit complement, bit rotation,
 //! shuffle, transpose) for Mesh-2, Mesh-1, REC, and DRL.
 //!
+//! All 24 pattern x fabric sweeps run as one [`SweepEngine::sweep_many`]
+//! batch: points are distributed over the machine's cores and the results
+//! are bit-identical to the serial sweeps at any thread count.
+//!
 //! Usage: `fig10_synthetic_latency [n] [measure_cycles] [step]`
 //! (defaults 10, 3000, 0.02; the paper uses 100k cycles and step 0.005 —
 //! pass those for a full-fidelity run).
 
 use rlnoc_baselines::rec_topology;
 use rlnoc_bench::{drl_topology, print_table, s, write_csv, Effort};
-use rlnoc_sim::sweep::latency_sweep;
+use rlnoc_sim::sweep::{SweepEngine, SweepJob, SweepParams};
 use rlnoc_sim::traffic::Pattern;
 use rlnoc_sim::{MeshSim, RouterlessSim, SimConfig};
 use rlnoc_topology::Grid;
@@ -34,81 +38,70 @@ fn main() {
         drain: 2_000,
         ..SimConfig::routerless()
     };
+    let params = SweepParams {
+        start: 0.005,
+        step,
+        max_rate: 1.0,
+        latency_factor: 4.0,
+        seed: 2,
+    };
+
+    let mut jobs = Vec::new();
+    let mut meta = Vec::new();
+    for pattern in Pattern::ALL {
+        jobs.push(SweepJob::new(
+            format!("{pattern:?}/Mesh-2"),
+            pattern,
+            mesh_cfg.clone(),
+            params,
+            move || MeshSim::mesh2(grid),
+        ));
+        meta.push((pattern, "Mesh-2"));
+        jobs.push(SweepJob::new(
+            format!("{pattern:?}/Mesh-1"),
+            pattern,
+            mesh_cfg.clone(),
+            params,
+            move || MeshSim::mesh1(grid),
+        ));
+        meta.push((pattern, "Mesh-1"));
+        jobs.push(SweepJob::new(
+            format!("{pattern:?}/REC"),
+            pattern,
+            rl_cfg.clone(),
+            params,
+            || RouterlessSim::new(&rec),
+        ));
+        meta.push((pattern, "REC"));
+        jobs.push(SweepJob::new(
+            format!("{pattern:?}/DRL"),
+            pattern,
+            rl_cfg.clone(),
+            params,
+            || RouterlessSim::new(&drl),
+        ));
+        meta.push((pattern, "DRL"));
+    }
+    let results = SweepEngine::available().sweep_many(&jobs);
 
     let mut all_rows = Vec::new();
     let mut summary = Vec::new();
-    for pattern in Pattern::ALL {
-        let sweeps: Vec<(&str, rlnoc_sim::sweep::SweepResult)> = vec![
-            (
-                "Mesh-2",
-                latency_sweep(
-                    || MeshSim::mesh2(grid),
-                    pattern,
-                    &mesh_cfg,
-                    0.005,
-                    step,
-                    1.0,
-                    4.0,
-                    2,
-                ),
-            ),
-            (
-                "Mesh-1",
-                latency_sweep(
-                    || MeshSim::mesh1(grid),
-                    pattern,
-                    &mesh_cfg,
-                    0.005,
-                    step,
-                    1.0,
-                    4.0,
-                    2,
-                ),
-            ),
-            (
-                "REC",
-                latency_sweep(
-                    || RouterlessSim::new(&rec),
-                    pattern,
-                    &rl_cfg,
-                    0.005,
-                    step,
-                    1.0,
-                    4.0,
-                    2,
-                ),
-            ),
-            (
-                "DRL",
-                latency_sweep(
-                    || RouterlessSim::new(&drl),
-                    pattern,
-                    &rl_cfg,
-                    0.005,
-                    step,
-                    1.0,
-                    4.0,
-                    2,
-                ),
-            ),
-        ];
-        for (name, sweep) in &sweeps {
-            for p in &sweep.points {
-                all_rows.push(vec![
-                    format!("{pattern:?}"),
-                    s(name),
-                    format!("{:.3}", p.rate),
-                    format!("{:.2}", p.latency),
-                    format!("{:.3}", p.accepted),
-                ]);
-            }
-            summary.push(vec![
+    for ((pattern, name), sweep) in meta.iter().zip(&results) {
+        for p in &sweep.points {
+            all_rows.push(vec![
                 format!("{pattern:?}"),
                 s(name),
-                format!("{:.2}", sweep.zero_load_latency),
-                format!("{:.3}", sweep.saturation),
+                format!("{:.3}", p.rate),
+                format!("{:.2}", p.latency),
+                format!("{:.3}", p.accepted),
             ]);
         }
+        summary.push(vec![
+            format!("{pattern:?}"),
+            s(name),
+            format!("{:.2}", sweep.zero_load_latency),
+            format!("{:.3}", sweep.saturation),
+        ]);
     }
 
     let headers = ["pattern", "fabric", "zero_load_latency", "saturation_flits"];

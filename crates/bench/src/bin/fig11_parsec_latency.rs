@@ -5,8 +5,9 @@
 
 use rlnoc_baselines::rec_topology;
 use rlnoc_bench::{drl_topology, print_table, s, write_csv, Effort};
+use rlnoc_sim::sweep::SweepEngine;
 use rlnoc_sim::{MeshSim, RouterlessSim, SimConfig};
-use rlnoc_topology::Grid;
+use rlnoc_topology::{Grid, Topology};
 use rlnoc_workloads::{run_benchmark, Benchmark};
 
 fn main() {
@@ -14,63 +15,78 @@ fn main() {
         .nth(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or(15_000);
-    let mut rows = Vec::new();
-    for n in [4usize, 8] {
-        let grid = Grid::square(n).expect("grid");
-        let cap = 2 * (n as u32 - 1);
-        let rec = rec_topology(grid).expect("REC");
-        let drl = drl_topology(grid, cap, Effort::from_env(), 3);
-        let mesh_cfg = SimConfig {
-            warmup: 1_000,
-            measure,
-            drain: 4_000,
-            ..SimConfig::mesh()
-        };
-        let rl_cfg = SimConfig {
-            warmup: 1_000,
-            measure,
-            drain: 4_000,
-            ..SimConfig::routerless()
-        };
+    let mesh_cfg = SimConfig {
+        warmup: 1_000,
+        measure,
+        drain: 4_000,
+        ..SimConfig::mesh()
+    };
+    let rl_cfg = SimConfig {
+        warmup: 1_000,
+        measure,
+        drain: 4_000,
+        ..SimConfig::routerless()
+    };
+
+    let topos: Vec<(usize, Grid, Topology, Topology)> = [4usize, 8]
+        .iter()
+        .map(|&n| {
+            let grid = Grid::square(n).expect("grid");
+            let cap = 2 * (n as u32 - 1);
+            (
+                n,
+                grid,
+                rec_topology(grid).expect("REC"),
+                drl_topology(grid, cap, Effort::from_env(), 3),
+            )
+        })
+        .collect();
+
+    // Independent (size, workload) runs fan out over the engine's worker
+    // pool; output order is preserved.
+    let mut tasks = Vec::new();
+    for (n, grid, rec, drl) in &topos {
         for (i, bench) in Benchmark::ALL.iter().enumerate() {
-            let seed = 60 + i as u64;
-            let lat = |m: rlnoc_sim::Metrics| format!("{:.2}", m.avg_packet_latency());
-            rows.push(vec![
-                format!("{n}x{n}"),
-                s(bench),
-                lat(run_benchmark(
-                    &mut MeshSim::mesh2(grid),
-                    *bench,
-                    &mesh_cfg,
-                    seed,
-                )),
-                lat(run_benchmark(
-                    &mut MeshSim::mesh1(grid),
-                    *bench,
-                    &mesh_cfg,
-                    seed,
-                )),
-                lat(run_benchmark(
-                    &mut MeshSim::mesh0(grid),
-                    *bench,
-                    &mesh_cfg,
-                    seed,
-                )),
-                lat(run_benchmark(
-                    &mut RouterlessSim::new(&rec),
-                    *bench,
-                    &rl_cfg,
-                    seed,
-                )),
-                lat(run_benchmark(
-                    &mut RouterlessSim::new(&drl),
-                    *bench,
-                    &rl_cfg,
-                    seed,
-                )),
-            ]);
+            tasks.push((*n, *grid, rec, drl, *bench, 60 + i as u64));
         }
     }
+    let rows = SweepEngine::available().map(&tasks, |_, &(n, grid, rec, drl, bench, seed)| {
+        let lat = |m: rlnoc_sim::Metrics| format!("{:.2}", m.avg_packet_latency());
+        vec![
+            format!("{n}x{n}"),
+            s(bench),
+            lat(run_benchmark(
+                &mut MeshSim::mesh2(grid),
+                bench,
+                &mesh_cfg,
+                seed,
+            )),
+            lat(run_benchmark(
+                &mut MeshSim::mesh1(grid),
+                bench,
+                &mesh_cfg,
+                seed,
+            )),
+            lat(run_benchmark(
+                &mut MeshSim::mesh0(grid),
+                bench,
+                &mesh_cfg,
+                seed,
+            )),
+            lat(run_benchmark(
+                &mut RouterlessSim::new(rec),
+                bench,
+                &rl_cfg,
+                seed,
+            )),
+            lat(run_benchmark(
+                &mut RouterlessSim::new(drl),
+                bench,
+                &rl_cfg,
+                seed,
+            )),
+        ]
+    });
 
     let headers = [
         "size", "workload", "Mesh-2", "Mesh-1", "Mesh-0", "REC", "DRL",

@@ -11,6 +11,7 @@
 use rlnoc_baselines::rec_topology;
 use rlnoc_bench::{drl_topology, f3, print_table, s, write_csv, Effort};
 use rlnoc_power::{Fabric, PowerModel};
+use rlnoc_sim::sweep::SweepEngine;
 use rlnoc_sim::traffic::Pattern;
 use rlnoc_sim::{run_synthetic, RouterlessSim, SimConfig};
 use rlnoc_topology::{Grid, Topology};
@@ -52,29 +53,31 @@ fn main() {
         f3(rec_p.dynamic_mw),
         f3(rec_p.total_mw()),
     ]];
-    for cap in [8u32, 10, 12, 13, 14, 16, 18, 20] {
+    // Each cap's design + measurement is independent and seeded by the cap,
+    // so the fan-out is deterministic and order-preserving.
+    let caps = [8u32, 10, 12, 13, 14, 16, 18, 20];
+    rows.extend(SweepEngine::available().map(&caps, |_, &cap| {
         let drl = drl_topology(grid, cap, Effort::from_env(), u64::from(cap));
         if !drl.is_fully_connected() {
-            rows.push(vec![
+            return vec![
                 s("DRL"),
                 s(cap),
                 s("not found at this search budget"),
                 s("-"),
                 s("-"),
                 s("-"),
-            ]);
-            continue;
+            ];
         }
         let (hops, p) = measure_power(&drl, cap, u64::from(cap));
-        rows.push(vec![
+        vec![
             s("DRL"),
             s(cap),
             f3(hops),
             f3(p.static_mw),
             f3(p.dynamic_mw),
             f3(p.total_mw()),
-        ]);
-    }
+        ]
+    }));
 
     let headers = [
         "design",

@@ -6,6 +6,7 @@
 use rlnoc_baselines::rec_topology;
 use rlnoc_bench::{drl_topology, f3, print_table, s, write_csv, Effort};
 use rlnoc_power::{Fabric, PowerModel};
+use rlnoc_sim::sweep::SweepEngine;
 use rlnoc_sim::{MeshSim, RouterlessSim, SimConfig};
 use rlnoc_topology::Grid;
 use rlnoc_workloads::{run_benchmark, Benchmark};
@@ -33,9 +34,9 @@ fn main() {
     let power = PowerModel::default();
     let rl14 = Fabric::Routerless { overlap: 14 };
 
-    let mut rows = Vec::new();
-    let mut sums = [(0.0f64, 0.0f64); 3];
-    for (i, bench) in Benchmark::ALL.iter().enumerate() {
+    // One task per workload; each yields its table row plus the three
+    // (static, dynamic) pairs so the average row can be summed in order.
+    let per_bench = SweepEngine::available().map(&Benchmark::ALL, |i, bench| {
         let seed = 120 + i as u64;
         let pm = power.from_metrics(
             Fabric::Mesh,
@@ -49,11 +50,7 @@ fn main() {
             rl14,
             &run_benchmark(&mut RouterlessSim::new(&drl), *bench, &rl_cfg, seed),
         );
-        for (acc, p) in sums.iter_mut().zip([&pm, &pr, &pd]) {
-            acc.0 += p.static_mw;
-            acc.1 += p.dynamic_mw;
-        }
-        rows.push(vec![
+        let row = vec![
             s(bench),
             f3(pm.static_mw),
             f3(pm.dynamic_mw),
@@ -61,7 +58,19 @@ fn main() {
             f3(pr.dynamic_mw),
             f3(pd.static_mw),
             f3(pd.dynamic_mw),
-        ]);
+        ];
+        let pairs = [pm, pr, pd].map(|p| (p.static_mw, p.dynamic_mw));
+        (row, pairs)
+    });
+
+    let mut rows = Vec::new();
+    let mut sums = [(0.0f64, 0.0f64); 3];
+    for (row, pairs) in per_bench {
+        for (acc, p) in sums.iter_mut().zip(pairs) {
+            acc.0 += p.0;
+            acc.1 += p.1;
+        }
+        rows.push(row);
     }
     let nb = Benchmark::ALL.len() as f64;
     rows.push(vec![

@@ -2,14 +2,17 @@
 //! 6x6, 8x8, and 10x10, highlighting the throughput drop from 4x4 to
 //! 10x10 (paper: −31.6% for REC vs only −4.7% for DRL).
 //!
+//! All 16 size x fabric sweeps run as one deterministic
+//! [`SweepEngine::sweep_many`] batch.
+//!
 //! Usage: `fig16_scaling [measure_cycles] [step]` (defaults 3000, 0.02).
 
 use rlnoc_baselines::rec_topology;
 use rlnoc_bench::{drl_topology, print_table, s, write_csv, Effort};
-use rlnoc_sim::sweep::latency_sweep;
+use rlnoc_sim::sweep::{SweepEngine, SweepJob, SweepParams};
 use rlnoc_sim::traffic::Pattern;
 use rlnoc_sim::{MeshSim, RouterlessSim, SimConfig};
-use rlnoc_topology::Grid;
+use rlnoc_topology::{Grid, Topology};
 use std::collections::HashMap;
 
 fn main() {
@@ -28,77 +31,77 @@ fn main() {
         drain: 2_000,
         ..SimConfig::routerless()
     };
+    let params = SweepParams {
+        start: 0.005,
+        step,
+        max_rate: 1.0,
+        latency_factor: 4.0,
+        seed: 6,
+    };
+
+    let sizes = [4usize, 6, 8, 10];
+    let topos: Vec<(Grid, Topology, Topology)> = sizes
+        .iter()
+        .map(|&n| {
+            let grid = Grid::square(n).expect("grid");
+            let cap = 2 * (n as u32 - 1);
+            (
+                grid,
+                rec_topology(grid).expect("REC"),
+                drl_topology(grid, cap, Effort::from_env(), 17),
+            )
+        })
+        .collect();
+
+    let mut jobs = Vec::new();
+    let mut meta: Vec<(&str, usize)> = Vec::new();
+    for (&n, (grid, rec, drl)) in sizes.iter().zip(&topos) {
+        let grid = *grid;
+        jobs.push(SweepJob::new(
+            format!("{n}x{n}/Mesh-2"),
+            Pattern::UniformRandom,
+            mesh_cfg.clone(),
+            params,
+            move || MeshSim::mesh2(grid),
+        ));
+        meta.push(("Mesh-2", n));
+        jobs.push(SweepJob::new(
+            format!("{n}x{n}/Mesh-1"),
+            Pattern::UniformRandom,
+            mesh_cfg.clone(),
+            params,
+            move || MeshSim::mesh1(grid),
+        ));
+        meta.push(("Mesh-1", n));
+        jobs.push(SweepJob::new(
+            format!("{n}x{n}/REC"),
+            Pattern::UniformRandom,
+            rl_cfg.clone(),
+            params,
+            || RouterlessSim::new(rec),
+        ));
+        meta.push(("REC", n));
+        jobs.push(SweepJob::new(
+            format!("{n}x{n}/DRL"),
+            Pattern::UniformRandom,
+            rl_cfg.clone(),
+            params,
+            || RouterlessSim::new(drl),
+        ));
+        meta.push(("DRL", n));
+    }
+    let results = SweepEngine::available().sweep_many(&jobs);
 
     let mut rows = Vec::new();
     let mut saturations: HashMap<(&str, usize), f64> = HashMap::new();
-    for n in [4usize, 6, 8, 10] {
-        let grid = Grid::square(n).expect("grid");
-        let cap = 2 * (n as u32 - 1);
-        let rec = rec_topology(grid).expect("REC");
-        let drl = drl_topology(grid, cap, Effort::from_env(), 17);
-        let sweeps: Vec<(&str, rlnoc_sim::sweep::SweepResult)> = vec![
-            (
-                "Mesh-2",
-                latency_sweep(
-                    || MeshSim::mesh2(grid),
-                    Pattern::UniformRandom,
-                    &mesh_cfg,
-                    0.005,
-                    step,
-                    1.0,
-                    4.0,
-                    6,
-                ),
-            ),
-            (
-                "Mesh-1",
-                latency_sweep(
-                    || MeshSim::mesh1(grid),
-                    Pattern::UniformRandom,
-                    &mesh_cfg,
-                    0.005,
-                    step,
-                    1.0,
-                    4.0,
-                    6,
-                ),
-            ),
-            (
-                "REC",
-                latency_sweep(
-                    || RouterlessSim::new(&rec),
-                    Pattern::UniformRandom,
-                    &rl_cfg,
-                    0.005,
-                    step,
-                    1.0,
-                    4.0,
-                    6,
-                ),
-            ),
-            (
-                "DRL",
-                latency_sweep(
-                    || RouterlessSim::new(&drl),
-                    Pattern::UniformRandom,
-                    &rl_cfg,
-                    0.005,
-                    step,
-                    1.0,
-                    4.0,
-                    6,
-                ),
-            ),
-        ];
-        for (name, sweep) in sweeps {
-            saturations.insert((name, n), sweep.saturation);
-            rows.push(vec![
-                format!("{n}x{n}"),
-                s(name),
-                format!("{:.2}", sweep.zero_load_latency),
-                format!("{:.3}", sweep.saturation),
-            ]);
-        }
+    for ((name, n), sweep) in meta.iter().zip(&results) {
+        saturations.insert((name, *n), sweep.saturation);
+        rows.push(vec![
+            format!("{n}x{n}"),
+            s(name),
+            format!("{:.2}", sweep.zero_load_latency),
+            format!("{:.3}", sweep.saturation),
+        ]);
     }
 
     let headers = ["size", "fabric", "zero_load_latency", "saturation_flits"];

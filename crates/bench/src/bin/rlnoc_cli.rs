@@ -11,7 +11,7 @@
 
 use rlnoc_bench::{drl_topology, Effort};
 use rlnoc_power::{AreaModel, Fabric, PowerModel};
-use rlnoc_sim::sweep::latency_sweep;
+use rlnoc_sim::sweep::{SweepEngine, SweepParams};
 use rlnoc_sim::traffic::Pattern;
 use rlnoc_sim::{run_synthetic, RouterlessSim, SimConfig};
 use rlnoc_topology::{diversity, render, Grid, Topology};
@@ -216,15 +216,21 @@ fn cmd_sweep(rest: &[String]) -> Result<(), String> {
         drain: 2_000,
         ..SimConfig::routerless()
     };
-    let sweep = latency_sweep(
+    // Adaptive sweep: a serial coarse pass brackets the saturation point,
+    // then the remaining fine points fill in across cores — bit-identical
+    // to the full serial sweep (see `rlnoc_sim::sweep`).
+    let sweep = SweepEngine::available().adaptive_sweep(
         || RouterlessSim::new(&topo),
         pattern,
         &cfg,
-        step,
-        step,
-        1.0,
-        4.0,
-        1,
+        SweepParams {
+            start: step,
+            step,
+            max_rate: 1.0,
+            latency_factor: 4.0,
+            seed: 1,
+        },
+        4,
     );
     println!("rate      latency   accepted");
     for p in &sweep.points {

@@ -8,6 +8,7 @@
 
 use rlnoc_baselines::rec_topology;
 use rlnoc_bench::{drl_topology, print_table, s, write_csv, Effort};
+use rlnoc_sim::sweep::SweepEngine;
 use rlnoc_sim::{MeshSim, RouterlessSim, SimConfig};
 use rlnoc_topology::Grid;
 use rlnoc_workloads::{run_benchmark, Benchmark};
@@ -42,8 +43,7 @@ fn main() {
         ("streamcluster", "11.0", "11.0", "11.0", "11.0"),
     ];
 
-    let mut rows = Vec::new();
-    for (i, bench) in Benchmark::TABLE5.iter().enumerate() {
+    let rows = SweepEngine::available().map(&Benchmark::TABLE5, |i, bench| {
         let seed = 40 + i as u64;
         let m2 = run_benchmark(&mut MeshSim::mesh2(grid), *bench, &mesh_cfg, seed);
         let m1 = run_benchmark(&mut MeshSim::mesh1(grid), *bench, &mesh_cfg, seed);
@@ -53,15 +53,15 @@ fn main() {
         let l_ref = m2.avg_packet_latency();
         let t = |m: &rlnoc_sim::Metrics| model.execution_time_ms(m.avg_packet_latency(), l_ref);
         let p = paper[i];
-        rows.push(vec![
+        vec![
             s(bench),
             format!("{:.1}", t(&m2)),
             format!("{:.1}", t(&m1)),
             format!("{:.1}", t(&mr)),
             format!("{:.1}", t(&md)),
             format!("{}/{}/{}/{}", p.1, p.2, p.3, p.4),
-        ]);
-    }
+        ]
+    });
 
     let headers = [
         "workload",

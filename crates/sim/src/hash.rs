@@ -1,0 +1,51 @@
+//! A minimal multiplicative hasher for the cycle kernels' packet-id maps.
+//!
+//! Packet ids are sequential `u64`s, so the default SipHash is pure
+//! overhead on the hot eject/inject paths — a single Fibonacci multiply
+//! mixes the high bits more than well enough for a table keyed by a
+//! counter. Only `u64` keys are supported, which is all the kernels use;
+//! correctness is unaffected because the maps are only ever probed by
+//! key (their iteration order is never observed).
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Hasher state: the mixed key (see [`PacketIdHasher::write_u64`]).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PacketIdHasher(u64);
+
+/// `BuildHasher` plugging [`PacketIdHasher`] into a `HashMap`.
+pub type PacketIdBuildHasher = BuildHasherDefault<PacketIdHasher>;
+
+impl Hasher for PacketIdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unimplemented!("PacketIdHasher only hashes u64 keys");
+    }
+
+    fn write_u64(&mut self, i: u64) {
+        // Fibonacci hashing: one wrapping multiply by 2^64/phi spreads
+        // sequential ids across the high bits the table indexes by.
+        self.0 = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn map_roundtrips_sequential_ids() {
+        let mut map: HashMap<u64, u32, PacketIdBuildHasher> = HashMap::default();
+        for id in 0..10_000u64 {
+            map.insert(id, id as u32);
+        }
+        for id in 0..10_000u64 {
+            assert_eq!(map.remove(&id), Some(id as u32));
+        }
+        assert!(map.is_empty());
+    }
+}

@@ -38,11 +38,13 @@
 #![warn(missing_debug_implementations)]
 
 mod config;
+mod hash;
 mod mesh;
 mod packet;
 mod routerless;
 mod runner;
 
+pub mod reference;
 pub mod stats;
 pub mod sweep;
 pub mod traffic;

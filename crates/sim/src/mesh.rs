@@ -1,6 +1,7 @@
 //! The router-based mesh fabric: input-buffered wormhole routers with XY
 //! dimension-order routing and credit-based backpressure.
 
+use crate::hash::PacketIdBuildHasher;
 use crate::packet::{Flit, Packet};
 use crate::runner::{Delivery, Network};
 use rlnoc_topology::{Grid, NodeId};
@@ -54,9 +55,17 @@ pub struct MeshSim {
     queues: Vec<VecDeque<Packet>>,
     /// Next flit index to inject for the head packet of each node queue.
     inject_progress: Vec<usize>,
-    assembly: HashMap<u64, usize>,
+    assembly: HashMap<u64, usize, PacketIdBuildHasher>,
     deliveries: Vec<Delivery>,
     in_flight_packets: usize,
+    /// Persistent per-tick scratch (cleared, never reallocated): flits
+    /// crossing a link this cycle.
+    staged: Vec<(NodeId, usize, Flit)>,
+    /// Persistent per-tick scratch: flits reaching their local port.
+    local_deliveries: Vec<Flit>,
+    /// Persistent per-tick scratch: input-buffer occupancy including this
+    /// cycle's staged arrivals, for credit checks.
+    occupancy: Vec<[usize; PORTS]>,
 }
 
 impl MeshSim {
@@ -70,9 +79,12 @@ impl MeshSim {
             routers: (0..grid.len()).map(|_| Router::new()).collect(),
             queues: vec![VecDeque::new(); grid.len()],
             inject_progress: vec![0; grid.len()],
-            assembly: HashMap::new(),
+            assembly: HashMap::default(),
             deliveries: Vec::new(),
             in_flight_packets: 0,
+            staged: Vec::new(),
+            local_deliveries: Vec::new(),
+            occupancy: vec![[0; PORTS]; grid.len()],
         }
     }
 
@@ -158,21 +170,19 @@ impl Network for MeshSim {
 
     fn tick(&mut self, cycle: u64) {
         // Staged transfers commit after all routers arbitrate, so a flit
-        // moves at most one hop per cycle.
-        let mut staged: Vec<(NodeId, usize, Flit)> = Vec::new();
-        let mut local_deliveries: Vec<Flit> = Vec::new();
+        // moves at most one hop per cycle. The staging buffers are
+        // persistent scratch moved out of `self` for the duration of the
+        // tick (`mem::take` swaps in an unallocated empty vec) so the
+        // steady-state cycle cost involves no heap allocation.
+        let mut staged = std::mem::take(&mut self.staged);
+        let mut local_deliveries = std::mem::take(&mut self.local_deliveries);
         // Occupancy including this cycle's staged arrivals, for credits.
-        let mut occupancy: Vec<[usize; PORTS]> = self
-            .routers
-            .iter()
-            .map(|r| {
-                let mut o = [0usize; PORTS];
-                for (p, q) in r.inputs.iter().enumerate() {
-                    o[p] = q.len();
-                }
-                o
-            })
-            .collect();
+        let mut occupancy = std::mem::take(&mut self.occupancy);
+        for (r, router) in self.routers.iter().enumerate() {
+            for (p, q) in router.inputs.iter().enumerate() {
+                occupancy[r][p] = q.len();
+            }
+        }
 
         for r in 0..self.routers.len() {
             let mut served_inputs = [false; PORTS];
@@ -243,12 +253,17 @@ impl Network for MeshSim {
             }
         }
 
-        for flit in local_deliveries {
+        for &flit in &local_deliveries {
             self.deliver(flit, cycle);
         }
-        for (router, port, flit) in staged {
+        for &(router, port, flit) in &staged {
             self.routers[router].inputs[port].push_back((flit, cycle + 1));
         }
+        staged.clear();
+        local_deliveries.clear();
+        self.staged = staged;
+        self.local_deliveries = local_deliveries;
+        self.occupancy = occupancy;
 
         // Injection: one flit per node per cycle into the local input, if
         // there is buffer space.
@@ -270,8 +285,8 @@ impl Network for MeshSim {
         }
     }
 
-    fn take_deliveries(&mut self) -> Vec<Delivery> {
-        std::mem::take(&mut self.deliveries)
+    fn drain_deliveries(&mut self, out: &mut Vec<Delivery>) {
+        out.append(&mut self.deliveries);
     }
 
     fn in_flight(&self) -> usize {

@@ -1,21 +1,59 @@
 //! The routerless fabric: one dedicated ring of wires per loop,
 //! single-cycle hops, source routing, priority to passing traffic.
+//!
+//! The cycle kernel is allocation-free in steady state: each lane keeps a
+//! persistent flit array that never moves — advancing the ring is a
+//! rotation of the *frame* (one counter increment per lane per cycle),
+//! not of the data. A flit injected into a physical slot stays in that
+//! slot until ejection; the node a slot currently fronts is derived from
+//! the lane's rotation offset. Rings never block, so every flit's arrival
+//! rotation is known at injection and recorded in a per-lane calendar —
+//! the ejection pass visits only the slots due this cycle (O(ejections),
+//! not O(slots)), and a flit passing through costs nothing at all.
 
+use crate::hash::PacketIdBuildHasher;
 use crate::packet::{Flit, Packet};
 use crate::runner::{Delivery, Network};
 use rlnoc_topology::{Grid, NodeId, RoutingTable, Topology};
 use std::collections::{HashMap, VecDeque};
 
+/// Sentinel for an unoccupied slot in [`Lane::dst`].
+const EMPTY: u32 = u32::MAX;
+
 /// One loop's wiring: node order and the flit occupying each slot.
-/// `slots[i]` holds the flit currently *at* node `nodes[i]`; each cycle
-/// every flit advances one position around the ring.
+///
+/// The flit in physical slot `s` is currently *at* node
+/// `nodes[(s + rot) % len]`; [`RouterlessSim::tick`] advances every flit
+/// one position by incrementing `rot` — no per-cycle allocation, no data
+/// movement.
 #[derive(Debug, Clone)]
 struct Lane {
     nodes: Vec<NodeId>,
     /// Position of each node on this lane (`None` if off-lane), indexed by
     /// node id.
     pos: Vec<Option<usize>>,
+    /// Destination node of the flit in each physical slot ([`EMPTY`] when
+    /// unoccupied) — the emptiness key for the injection pass.
+    dst: Vec<u32>,
+    /// Flit payload per physical slot, valid where `dst[s] != EMPTY`.
     slots: Vec<Option<Flit>>,
+    /// Frame rotation: how many hops this lane has advanced, modulo its
+    /// length.
+    rot: usize,
+    /// Ejection calendar: `calendar[r]` holds the slots whose flit fronts
+    /// its destination when `rot == r`. Rings never block, so arrival
+    /// times are known at injection; a deflected entry stays in its
+    /// bucket, which recurs exactly one full circle later. Buckets retain
+    /// capacity, so steady-state pushes never allocate.
+    calendar: Vec<Vec<usize>>,
+}
+
+impl Lane {
+    /// Physical slot currently fronting node position `p`.
+    fn slot_of(&self, p: usize) -> usize {
+        let len = self.nodes.len();
+        (p + len - self.rot) % len
+    }
 }
 
 /// An injection in progress: flits of `packet` still being placed onto
@@ -45,7 +83,7 @@ pub struct RouterlessSim {
     queues: Vec<VecDeque<Packet>>,
     active: Vec<Option<ActiveInjection>>,
     /// Flits received so far per in-flight packet id, with the hop count.
-    assembly: HashMap<u64, (usize, u64)>,
+    assembly: HashMap<u64, (usize, u64), PacketIdBuildHasher>,
     deliveries: Vec<Delivery>,
     in_flight_packets: usize,
     unroutable: u64,
@@ -55,6 +93,9 @@ pub struct RouterlessSim {
     /// Flits that circled past their destination because the ejection
     /// ports were busy (only possible with an ejection limit).
     deflections: u64,
+    /// Per-node ejections this cycle (persistent scratch, zeroed each
+    /// tick only while an ejection limit is set).
+    ejected_at: Vec<usize>,
 }
 
 impl RouterlessSim {
@@ -91,7 +132,15 @@ impl RouterlessSim {
                 Lane {
                     nodes,
                     pos,
+                    dst: vec![EMPTY; len],
                     slots: vec![None; len],
+                    rot: 0,
+                    // A lane holds at most one pending arrival per slot,
+                    // so `len` bounds any single bucket — pre-reserving it
+                    // makes steady-state pushes allocation-free by
+                    // construction, not just after warm-up. (Built with a
+                    // map: `vec![v; n]` clones drop capacity.)
+                    calendar: (0..len).map(|_| Vec::with_capacity(len)).collect(),
                 }
             })
             .collect();
@@ -101,12 +150,13 @@ impl RouterlessSim {
             lanes,
             queues: vec![VecDeque::new(); grid.len()],
             active: vec![None; grid.len()],
-            assembly: HashMap::new(),
+            assembly: HashMap::default(),
             deliveries: Vec::new(),
             in_flight_packets: 0,
             unroutable: 0,
             ejection_limit: None,
             deflections: 0,
+            ejected_at: vec![0; grid.len()],
         }
     }
 
@@ -142,46 +192,62 @@ impl Network for RouterlessSim {
     }
 
     fn tick(&mut self, cycle: u64) {
-        // Phase 1: advance every lane one hop, ejecting flits that arrive
-        // at their destination (subject to the per-node ejection limit).
-        let mut ejected_at = vec![0usize; self.grid.len()];
+        // Phase 1: advance every lane one hop (a frame rotation — flits
+        // stay in their physical slots), ejecting flits that arrive at
+        // their destination (subject to the per-node ejection limit).
+        let limit = self.ejection_limit;
+        if limit.is_some() {
+            self.ejected_at.fill(0);
+        }
         for lane in &mut self.lanes {
-            let len = lane.slots.len();
-            let mut next: Vec<Option<Flit>> = vec![None; len];
-            for i in 0..len {
-                let Some(flit) = lane.slots[i].take() else {
-                    continue;
-                };
-                let j = (i + 1) % len;
-                let node = lane.nodes[j];
-                if flit.packet.dst == node {
-                    if self
-                        .ejection_limit
-                        .is_some_and(|limit| ejected_at[node] >= limit)
-                    {
-                        // Ejection port busy: deflect around the loop.
+            let len = lane.nodes.len();
+            if len == 0 {
+                continue;
+            }
+            lane.rot += 1;
+            if lane.rot == len {
+                lane.rot = 0;
+            }
+            // Only the calendar bucket for this rotation can eject: it
+            // holds exactly the slots whose flit now fronts its
+            // destination, so the pass is O(ejections), not O(slots).
+            let rot = lane.rot;
+            let mut i = 0;
+            while i < lane.calendar[rot].len() {
+                let s = lane.calendar[rot][i];
+                let mut p = s + rot;
+                if p >= len {
+                    p -= len;
+                }
+                let node = lane.nodes[p];
+                debug_assert_eq!(lane.dst[s], node as u32, "calendar out of sync");
+                if let Some(lim) = limit {
+                    if self.ejected_at[node] >= lim {
+                        // Ejection port busy: deflect around the loop. The
+                        // kept entry recurs when this bucket next comes
+                        // up — one full circle later.
                         self.deflections += 1;
-                        next[j] = Some(flit);
+                        i += 1;
                         continue;
                     }
-                    ejected_at[node] += 1;
-                    // Eject: deliver into the assembly buffer.
-                    let entry = self.assembly.entry(flit.packet.id).or_insert((0, 0));
-                    entry.0 += 1;
-                    if entry.0 == flit.packet.flits {
-                        let (_, hops) = self.assembly.remove(&flit.packet.id).expect("present");
-                        self.deliveries.push(Delivery {
-                            packet: flit.packet,
-                            delivered: cycle,
-                            hops,
-                        });
-                        self.in_flight_packets -= 1;
-                    }
-                } else {
-                    next[j] = Some(flit);
+                    self.ejected_at[node] += 1;
+                }
+                lane.calendar[rot].swap_remove(i);
+                // Eject: deliver into the assembly buffer.
+                lane.dst[s] = EMPTY;
+                let flit = lane.slots[s].take().expect("slot occupied per dst key");
+                let entry = self.assembly.entry(flit.packet.id).or_insert((0, 0));
+                entry.0 += 1;
+                if entry.0 == flit.packet.flits {
+                    let (_, hops) = self.assembly.remove(&flit.packet.id).expect("present");
+                    self.deliveries.push(Delivery {
+                        packet: flit.packet,
+                        delivered: cycle,
+                        hops,
+                    });
+                    self.in_flight_packets -= 1;
                 }
             }
-            lane.slots = next;
         }
 
         // Phase 2: injection — one flit per node, only into an empty slot,
@@ -212,11 +278,23 @@ impl Network for RouterlessSim {
             };
             let lane = &mut self.lanes[act.lane];
             let pos = lane.pos[node].expect("routing table only picks loops through the source");
-            if lane.slots[pos].is_none() {
-                lane.slots[pos] = Some(Flit {
+            let s = lane.slot_of(pos);
+            if lane.dst[s] == EMPTY {
+                let len = lane.nodes.len();
+                lane.dst[s] = act.packet.dst as u32;
+                lane.slots[s] = Some(Flit {
                     packet: act.packet,
                     index: act.next_flit,
                 });
+                // Schedule the ejection: the flit fronts its destination
+                // after `hops` advances (`hops == 0`, a self-addressed
+                // packet, means one full circle — bucket `rot` recurs in
+                // exactly `len` cycles).
+                let hops = lane.pos[act.packet.dst]
+                    .map(|d| (d + len - pos) % len)
+                    .expect("routing table only picks loops through the destination");
+                let bucket = (lane.rot + hops) % len;
+                lane.calendar[bucket].push(s);
                 // Record hops once per packet in the assembly buffer.
                 self.assembly
                     .entry(act.packet.id)
@@ -232,15 +310,14 @@ impl Network for RouterlessSim {
         }
     }
 
-    fn take_deliveries(&mut self) -> Vec<Delivery> {
-        std::mem::take(&mut self.deliveries)
+    fn drain_deliveries(&mut self, out: &mut Vec<Delivery>) {
+        out.append(&mut self.deliveries);
     }
 
     fn in_flight(&self) -> usize {
         self.in_flight_packets
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,4 +1,12 @@
 //! The fabric-agnostic simulation driver.
+//!
+//! The hot-path contracts are *sink-based*: [`Network::drain_deliveries`]
+//! and [`PacketSource::generate_into`] write into caller-owned reusable
+//! buffers, so [`run_with_source`] performs no heap allocation per cycle
+//! once the network and its buffers have reached steady state (see the
+//! counting-allocator audit in `tests/alloc_free.rs`). The allocating
+//! [`Network::take_deliveries`] / [`PacketSource::generate`] conveniences
+//! are provided trait methods kept for tests and one-shot callers.
 
 use crate::config::SimConfig;
 use crate::packet::Packet;
@@ -28,47 +36,99 @@ pub trait Network {
     /// Advances the fabric by one cycle.
     fn tick(&mut self, cycle: u64);
 
+    /// Appends packets delivered since the last drain to `out`, leaving
+    /// the internal delivery buffer empty (capacity retained). This is
+    /// the allocation-free primitive the driver uses every cycle.
+    fn drain_deliveries(&mut self, out: &mut Vec<Delivery>);
+
     /// Removes and returns packets delivered since the last call.
-    fn take_deliveries(&mut self) -> Vec<Delivery>;
+    ///
+    /// Allocating convenience over [`Network::drain_deliveries`].
+    fn take_deliveries(&mut self) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        self.drain_deliveries(&mut out);
+        out
+    }
 
     /// Packets currently queued or in flight (for drain accounting).
     fn in_flight(&self) -> usize;
 }
 
+impl<N: Network + ?Sized> Network for Box<N> {
+    fn grid(&self) -> &Grid {
+        (**self).grid()
+    }
+    fn offer(&mut self, packet: Packet) {
+        (**self).offer(packet)
+    }
+    fn tick(&mut self, cycle: u64) {
+        (**self).tick(cycle)
+    }
+    fn drain_deliveries(&mut self, out: &mut Vec<Delivery>) {
+        (**self).drain_deliveries(out)
+    }
+    fn take_deliveries(&mut self) -> Vec<Delivery> {
+        (**self).take_deliveries()
+    }
+    fn in_flight(&self) -> usize {
+        (**self).in_flight()
+    }
+}
+
 /// A source of packets driving a simulation — synthetic patterns
 /// ([`TrafficGen`]) or application models (the `rlnoc-workloads` crate).
 pub trait PacketSource {
-    /// This cycle's new packets (marked `measured` inside the measurement
-    /// window).
-    fn generate(&mut self, cycle: u64, cfg: &SimConfig, measured: bool) -> Vec<Packet>;
+    /// Appends this cycle's new packets to `out` (marked `measured`
+    /// inside the measurement window). The caller owns and reuses `out`;
+    /// implementations must only append.
+    fn generate_into(&mut self, cycle: u64, cfg: &SimConfig, measured: bool, out: &mut Vec<Packet>);
+
+    /// This cycle's new packets, as a fresh vector.
+    ///
+    /// Allocating convenience over [`PacketSource::generate_into`].
+    fn generate(&mut self, cycle: u64, cfg: &SimConfig, measured: bool) -> Vec<Packet> {
+        let mut out = Vec::new();
+        self.generate_into(cycle, cfg, measured, &mut out);
+        out
+    }
 }
 
 impl PacketSource for TrafficGen {
-    fn generate(&mut self, cycle: u64, cfg: &SimConfig, measured: bool) -> Vec<Packet> {
-        TrafficGen::generate(self, cycle, cfg, measured)
+    fn generate_into(
+        &mut self,
+        cycle: u64,
+        cfg: &SimConfig,
+        measured: bool,
+        out: &mut Vec<Packet>,
+    ) {
+        TrafficGen::generate_into(self, cycle, cfg, measured, out);
     }
 }
 
 /// Runs a traffic experiment from any [`PacketSource`]: warm-up,
 /// measurement, and drain phases, returning aggregated [`Metrics`].
+///
+/// The per-cycle loop reuses two caller-local buffers (new packets and
+/// drained deliveries) and the sink-based trait methods, so it allocates
+/// nothing per cycle in steady state.
 pub fn run_with_source<N: Network>(
     net: &mut N,
     source: &mut impl PacketSource,
     cfg: &SimConfig,
 ) -> Metrics {
     let grid = *net.grid();
-    let mut metrics = Metrics {
-        nodes: grid.len(),
-        cycles: cfg.measure,
-        ..Metrics::default()
-    };
+    let mut metrics = Metrics::new(grid.len(), cfg.measure);
     let total = cfg.warmup + cfg.measure + cfg.drain;
+    let mut fresh: Vec<Packet> = Vec::new();
+    let mut delivered: Vec<Delivery> = Vec::new();
     for cycle in 0..total {
         // Generation stops after the measurement window so the drain phase
         // can empty the network.
         if cycle < cfg.warmup + cfg.measure {
             let measured = cycle >= cfg.warmup;
-            for p in source.generate(cycle, cfg, measured) {
+            fresh.clear();
+            source.generate_into(cycle, cfg, measured, &mut fresh);
+            for &p in &fresh {
                 if measured {
                     metrics.record_offered(p.flits);
                 }
@@ -76,7 +136,9 @@ pub fn run_with_source<N: Network>(
             }
         }
         net.tick(cycle);
-        for d in net.take_deliveries() {
+        delivered.clear();
+        net.drain_deliveries(&mut delivered);
+        for d in &delivered {
             if d.packet.measured {
                 metrics.record_delivery(d.delivered - d.packet.created, d.hops, d.packet.flits);
             }

@@ -1,6 +1,15 @@
-//! Measurement collection: latency, hop count, and throughput.
+//! Measurement collection: latency, hop count, throughput, and tail
+//! latency (percentiles over a fixed-bucket latency histogram).
 
 use serde::{Deserialize, Serialize};
+
+/// Latencies up to this many cycles are histogrammed exactly; anything
+/// larger lands in one overflow bucket (tail percentiles falling there
+/// are reported as [`Metrics::max_latency`]).
+pub const LATENCY_HIST_MAX: u64 = 2047;
+
+/// Bucket count: one per cycle `0..=LATENCY_HIST_MAX` plus overflow.
+const LATENCY_HIST_BUCKETS: usize = LATENCY_HIST_MAX as usize + 2;
 
 /// Aggregated measurements from one simulation run.
 ///
@@ -30,9 +39,27 @@ pub struct Metrics {
     pub cycles: u64,
     /// Maximum observed packet latency.
     pub max_latency: u64,
+    /// Latency histogram: `latency_hist[c]` counts measured packets with
+    /// latency exactly `c` cycles (`c ≤` [`LATENCY_HIST_MAX`]); the last
+    /// bucket counts everything larger. Preallocated by [`Metrics::new`]
+    /// so recording stays allocation-free; empty until the first
+    /// recorded delivery otherwise.
+    pub latency_hist: Vec<u64>,
 }
 
 impl Metrics {
+    /// Creates an empty `Metrics` for a run over `nodes` nodes and
+    /// `cycles` measured cycles, with the latency histogram preallocated
+    /// (so [`Metrics::record_delivery`] never allocates).
+    pub fn new(nodes: usize, cycles: u64) -> Self {
+        Metrics {
+            nodes,
+            cycles,
+            latency_hist: vec![0; LATENCY_HIST_BUCKETS],
+            ..Metrics::default()
+        }
+    }
+
     /// Records a delivered measured packet.
     pub fn record_delivery(&mut self, latency: u64, hops: u64, flits: usize) {
         self.packets += 1;
@@ -41,6 +68,13 @@ impl Metrics {
         self.flits_delivered += flits as u64;
         self.flit_hop_sum += hops * flits as u64;
         self.max_latency = self.max_latency.max(latency);
+        if self.latency_hist.is_empty() {
+            // Default-constructed metrics (tests, ad-hoc use): allocate on
+            // first use. `Metrics::new` preallocates for the hot path.
+            self.latency_hist = vec![0; LATENCY_HIST_BUCKETS];
+        }
+        let bucket = (latency.min(LATENCY_HIST_MAX + 1)) as usize;
+        self.latency_hist[bucket] += 1;
     }
 
     /// Records a generated measured packet.
@@ -95,6 +129,47 @@ impl Metrics {
             self.packets as f64 / self.packets_offered as f64
         }
     }
+
+    /// The `p`-th latency percentile in cycles (nearest-rank method over
+    /// the integer-cycle histogram), for `p` in `(0, 100]`. Returns 0 when
+    /// nothing was delivered; percentiles falling in the histogram's
+    /// overflow bucket report [`Metrics::max_latency`].
+    pub fn latency_percentile(&self, p: f64) -> u64 {
+        assert!(p > 0.0 && p <= 100.0, "percentile must be in (0, 100]");
+        if self.packets == 0 {
+            return 0;
+        }
+        // Nearest rank: the smallest latency whose cumulative count
+        // reaches ⌈p/100 · N⌉.
+        let rank = ((p / 100.0) * self.packets as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (latency, &count) in self.latency_hist.iter().enumerate() {
+            cumulative += count;
+            if cumulative >= rank {
+                return if latency as u64 > LATENCY_HIST_MAX {
+                    self.max_latency
+                } else {
+                    latency as u64
+                };
+            }
+        }
+        self.max_latency
+    }
+
+    /// Median packet latency (cycles).
+    pub fn p50_latency(&self) -> u64 {
+        self.latency_percentile(50.0)
+    }
+
+    /// 95th-percentile packet latency (cycles).
+    pub fn p95_latency(&self) -> u64 {
+        self.latency_percentile(95.0)
+    }
+
+    /// 99th-percentile packet latency (cycles).
+    pub fn p99_latency(&self) -> u64 {
+        self.latency_percentile(99.0)
+    }
 }
 
 #[cfg(test)]
@@ -126,5 +201,62 @@ mod tests {
         assert_eq!(m.avg_hops(), 0.0);
         assert_eq!(m.accepted_throughput(), 0.0);
         assert_eq!(m.delivery_ratio(), 1.0);
+        assert_eq!(m.p50_latency(), 0);
+        assert_eq!(m.p99_latency(), 0);
+    }
+
+    #[test]
+    fn percentiles_on_uniform_1_to_100() {
+        // Latencies 1..=100, one packet each: nearest-rank percentiles are
+        // exactly the percentile index.
+        let mut m = Metrics::new(1, 1);
+        for lat in 1..=100u64 {
+            m.record_delivery(lat, 1, 1);
+        }
+        assert_eq!(m.p50_latency(), 50);
+        assert_eq!(m.p95_latency(), 95);
+        assert_eq!(m.p99_latency(), 99);
+        assert_eq!(m.latency_percentile(100.0), 100);
+        assert_eq!(m.latency_percentile(1.0), 1);
+    }
+
+    #[test]
+    fn percentiles_on_skewed_distribution() {
+        // 90 packets at 10 cycles, 9 at 100, 1 at 1000: p50/p90 sit in the
+        // bulk, p95 in the second mode, p100 at the straggler.
+        let mut m = Metrics::new(1, 1);
+        for _ in 0..90 {
+            m.record_delivery(10, 1, 1);
+        }
+        for _ in 0..9 {
+            m.record_delivery(100, 1, 1);
+        }
+        m.record_delivery(1000, 1, 1);
+        assert_eq!(m.p50_latency(), 10);
+        assert_eq!(m.latency_percentile(90.0), 10);
+        assert_eq!(m.p95_latency(), 100);
+        assert_eq!(m.p99_latency(), 100);
+        assert_eq!(m.latency_percentile(100.0), 1000);
+    }
+
+    #[test]
+    fn overflow_bucket_reports_max_latency() {
+        let mut m = Metrics::new(1, 1);
+        m.record_delivery(LATENCY_HIST_MAX + 500, 1, 1);
+        m.record_delivery(LATENCY_HIST_MAX + 900, 1, 1);
+        assert_eq!(m.p50_latency(), LATENCY_HIST_MAX + 900);
+        assert_eq!(m.max_latency, LATENCY_HIST_MAX + 900);
+    }
+
+    #[test]
+    fn histogram_counts_every_delivery() {
+        let mut m = Metrics::new(1, 1);
+        for lat in [0u64, 1, 1, 7, LATENCY_HIST_MAX, LATENCY_HIST_MAX + 1] {
+            m.record_delivery(lat, 1, 1);
+        }
+        let total: u64 = m.latency_hist.iter().sum();
+        assert_eq!(total, m.packets);
+        assert_eq!(m.latency_hist[1], 2);
+        assert_eq!(m.latency_hist[LATENCY_HIST_MAX as usize + 1], 1);
     }
 }

@@ -1,13 +1,57 @@
-//! Injection-rate sweeps and saturation detection (paper Figures 10 & 16).
+//! Injection-rate sweeps and saturation detection (paper Figures 10 & 16),
+//! with a deterministic parallel execution engine.
+//!
+//! # Determinism contract
+//!
+//! Every sweep point is a *pure function* of `(factory, pattern, cfg,
+//! rate, seed)`: the per-point RNG seed is derived with [`point_seed`]
+//! from `(seed, pattern, rate)` via SplitMix64, never from thread
+//! identity, scheduling order, or a shared RNG stream. Saturation is
+//! detected by a serial scan ([`scan`]) over the points in rate order,
+//! and the criterion for any point depends only on that point plus the
+//! zero-load latency of point 0 — so evaluating points concurrently and
+//! scanning afterwards yields bit-identical [`SweepResult`]s at any
+//! thread count, including one (see the `parallel_matches_serial_*`
+//! tests). The shared saturation cutoff the workers maintain is a
+//! work-skipping optimisation only: it can never mark an index below the
+//! first truly-saturated point, so every point the scan consumes is
+//! always evaluated.
 
 use crate::config::SimConfig;
 use crate::runner::{run_synthetic, Network};
-use crate::stats::Metrics;
 use crate::traffic::Pattern;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// SplitMix64 mixing step (Steele et al., the `splitmix64` reference
+/// finalizer). Used to derive independent per-point RNG seeds.
+pub fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Stable small integer identifying a pattern for seed derivation.
+fn pattern_id(pattern: Pattern) -> u64 {
+    Pattern::ALL
+        .iter()
+        .position(|&p| p == pattern)
+        .expect("Pattern::ALL covers every variant") as u64
+}
+
+/// The RNG seed for one sweep point, derived deterministically from the
+/// sweep seed, the traffic pattern, and the injection rate. Chained
+/// SplitMix64 finalizers decorrelate neighbouring rates and patterns so
+/// every point draws from an independent stream regardless of which
+/// thread (or how many threads) evaluates it.
+pub fn point_seed(seed: u64, pattern: Pattern, rate: f64) -> u64 {
+    splitmix64(splitmix64(splitmix64(seed) ^ pattern_id(pattern)) ^ rate.to_bits())
+}
 
 /// One point of a latency-vs-injection curve.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SweepPoint {
     /// Offered load, flits/node/cycle.
     pub rate: f64,
@@ -17,6 +61,12 @@ pub struct SweepPoint {
     pub accepted: f64,
     /// Delivered / offered packets.
     pub delivery_ratio: f64,
+    /// Median packet latency, cycles.
+    pub p50: u64,
+    /// 95th-percentile packet latency, cycles.
+    pub p95: u64,
+    /// 99th-percentile packet latency, cycles.
+    pub p99: u64,
 }
 
 /// A full sweep with the detected saturation point.
@@ -31,13 +81,110 @@ pub struct SweepResult {
     pub zero_load_latency: f64,
 }
 
-/// Sweeps injection rate from `start` in steps of `step` (the paper uses
-/// 0.005 for both), running a fresh network from `factory` at each rate,
-/// until the network saturates or `max_rate` is reached.
-///
-/// Saturation criterion: average latency exceeding `latency_factor` × the
-/// zero-load latency, or the delivery ratio dropping below 0.85 — the
-/// conventional "network saturates" cutoff for latency-throughput curves.
+/// The knobs of one injection-rate sweep (the paper uses `start = step =
+/// 0.005` and a 4× zero-load latency cutoff).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepParams {
+    /// First injection rate, flits/node/cycle.
+    pub start: f64,
+    /// Rate increment between points.
+    pub step: f64,
+    /// Largest rate to consider.
+    pub max_rate: f64,
+    /// Saturation fires when latency exceeds this multiple of zero-load.
+    pub latency_factor: f64,
+    /// Base seed; per-point seeds derive from it via [`point_seed`].
+    pub seed: u64,
+}
+
+impl SweepParams {
+    /// The paper's sweep setup: 0.005 start/step up to 1.0, 4× cutoff.
+    pub fn paper(seed: u64) -> Self {
+        SweepParams {
+            start: 0.005,
+            step: 0.005,
+            max_rate: 1.0,
+            latency_factor: 4.0,
+            seed,
+        }
+    }
+
+    /// The candidate injection rates, in increasing order. Rates are
+    /// computed as `start + i·step` (not by accumulation) so serial and
+    /// parallel paths agree bit-for-bit on every rate.
+    pub fn rates(&self) -> Vec<f64> {
+        assert!(self.step > 0.0, "step must be positive");
+        let mut rates = Vec::new();
+        let mut i = 0u32;
+        loop {
+            let rate = self.start + f64::from(i) * self.step;
+            if rate > self.max_rate + 1e-12 {
+                break;
+            }
+            rates.push(rate);
+            i += 1;
+        }
+        rates
+    }
+}
+
+/// Runs one sweep point on a fresh network.
+fn evaluate_point<N: Network>(
+    net: &mut N,
+    pattern: Pattern,
+    cfg: &SimConfig,
+    rate: f64,
+    seed: u64,
+) -> SweepPoint {
+    let m = run_synthetic(net, pattern, rate, cfg, point_seed(seed, pattern, rate));
+    SweepPoint {
+        rate,
+        latency: m.avg_packet_latency(),
+        accepted: m.accepted_throughput(),
+        delivery_ratio: m.delivery_ratio(),
+        p50: m.p50_latency(),
+        p95: m.p95_latency(),
+        p99: m.p99_latency(),
+    }
+}
+
+/// The saturation criterion: average latency exceeding `latency_factor` ×
+/// the zero-load latency, or delivery ratio dropping below 0.85 — the
+/// conventional cutoff for latency-throughput curves.
+fn is_saturated(point: &SweepPoint, zero_load: f64, latency_factor: f64) -> bool {
+    point.latency > latency_factor * zero_load || point.delivery_ratio < 0.85
+}
+
+/// The serial saturation scan shared by every execution path: consumes
+/// points in rate order, stops pulling after the first saturated one.
+/// Because serial and parallel sweeps funnel through this exact loop,
+/// their results can only differ if the points themselves differ — and
+/// they cannot (see the module-level determinism contract).
+fn scan(points_in_order: impl Iterator<Item = SweepPoint>, latency_factor: f64) -> SweepResult {
+    let mut points = Vec::new();
+    let mut zero_load = None;
+    let mut saturation = 0.0f64;
+    for point in points_in_order {
+        let zl = *zero_load.get_or_insert(point.latency.max(1.0));
+        let saturated = is_saturated(&point, zl, latency_factor);
+        points.push(point);
+        if saturated {
+            break;
+        }
+        saturation = point.accepted;
+    }
+    SweepResult {
+        zero_load_latency: zero_load.unwrap_or(0.0),
+        points,
+        saturation,
+    }
+}
+
+/// Sweeps injection rate from `start` in steps of `step`, running a fresh
+/// network from `factory` at each rate, until the network saturates or
+/// `max_rate` is reached. This is the serial reference implementation the
+/// [`SweepEngine`] determinism tests compare against; it evaluates points
+/// lazily so nothing past the saturation point is simulated.
 #[allow(clippy::too_many_arguments)] // sweep knobs mirror the paper's sweep parameters 1:1
 pub fn latency_sweep<N: Network>(
     mut factory: impl FnMut() -> N,
@@ -49,33 +196,339 @@ pub fn latency_sweep<N: Network>(
     latency_factor: f64,
     seed: u64,
 ) -> SweepResult {
-    assert!(step > 0.0, "step must be positive");
-    let mut points = Vec::new();
-    let mut zero_load = None;
-    let mut saturation = 0.0f64;
-    let mut rate = start;
-    while rate <= max_rate + 1e-12 {
-        let mut net = factory();
-        let m: Metrics = run_synthetic(&mut net, pattern, rate, cfg, seed);
-        let point = SweepPoint {
-            rate,
-            latency: m.avg_packet_latency(),
-            accepted: m.accepted_throughput(),
-            delivery_ratio: m.delivery_ratio(),
-        };
-        let zl = *zero_load.get_or_insert(point.latency.max(1.0));
-        let saturated = point.latency > latency_factor * zl || point.delivery_ratio < 0.85;
-        points.push(point.clone());
-        if saturated {
-            break;
+    let params = SweepParams {
+        start,
+        step,
+        max_rate,
+        latency_factor,
+        seed,
+    };
+    scan(
+        params.rates().into_iter().map(|rate| {
+            let mut net = factory();
+            evaluate_point(&mut net, pattern, cfg, rate, seed)
+        }),
+        latency_factor,
+    )
+}
+
+/// Shared per-sweep saturation tracking for the parallel workers. This is
+/// purely a work-skipping optimisation: `cutoff` only ever holds indices
+/// of points that genuinely satisfy the saturation criterion, so it is
+/// always ≥ the first saturated index and skipping strictly-beyond-cutoff
+/// tasks can never drop a point the final [`scan`] will consume.
+struct JobState {
+    /// Smallest point index observed (so far) to be saturated; starts at
+    /// the point count, i.e. "none known".
+    cutoff: AtomicUsize,
+    /// Bit pattern of the zero-load latency from point 0; `u64::MAX` (a
+    /// NaN payload) until point 0 completes. While still NaN the latency
+    /// comparison in [`is_saturated`] is false, so only the seed-
+    /// independent delivery-ratio criterion can advance the cutoff — a
+    /// conservative under-approximation, still exact.
+    zero_load_bits: AtomicU64,
+}
+
+impl JobState {
+    fn new(points: usize) -> Self {
+        JobState {
+            cutoff: AtomicUsize::new(points),
+            zero_load_bits: AtomicU64::new(u64::MAX),
         }
-        saturation = point.accepted;
-        rate += step;
     }
-    SweepResult {
-        zero_load_latency: zero_load.unwrap_or(0.0),
-        points,
-        saturation,
+
+    fn beyond_cutoff(&self, idx: usize) -> bool {
+        idx > self.cutoff.load(Ordering::Acquire)
+    }
+
+    fn observe(&self, idx: usize, point: &SweepPoint, latency_factor: f64) {
+        if idx == 0 {
+            self.zero_load_bits
+                .store(point.latency.max(1.0).to_bits(), Ordering::Release);
+        }
+        let zero_load = f64::from_bits(self.zero_load_bits.load(Ordering::Acquire));
+        if is_saturated(point, zero_load, latency_factor) {
+            self.cutoff.fetch_min(idx, Ordering::AcqRel);
+        }
+    }
+}
+
+/// One sweep in a heterogeneous [`SweepEngine::sweep_many`] batch: a
+/// labelled fabric factory with its own pattern, config, and parameters.
+pub struct SweepJob<'a> {
+    /// Display label (fabric/pattern), carried through to callers.
+    pub label: String,
+    /// Traffic pattern to sweep.
+    pub pattern: Pattern,
+    /// Simulation config for this fabric.
+    pub cfg: SimConfig,
+    /// Sweep knobs (rates, cutoff, seed).
+    pub params: SweepParams,
+    factory: Box<dyn Fn() -> Box<dyn Network + 'a> + Send + Sync + 'a>,
+}
+
+impl std::fmt::Debug for SweepJob<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepJob")
+            .field("label", &self.label)
+            .field("pattern", &self.pattern)
+            .field("cfg", &self.cfg)
+            .field("params", &self.params)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> SweepJob<'a> {
+    /// Wraps a concrete fabric factory into a batch job. Different jobs
+    /// in one batch may build different network types.
+    pub fn new<N: Network + 'a>(
+        label: impl Into<String>,
+        pattern: Pattern,
+        cfg: SimConfig,
+        params: SweepParams,
+        factory: impl Fn() -> N + Send + Sync + 'a,
+    ) -> Self {
+        SweepJob {
+            label: label.into(),
+            pattern,
+            cfg,
+            params,
+            factory: Box::new(move || Box::new(factory()) as Box<dyn Network + 'a>),
+        }
+    }
+}
+
+/// Deterministic parallel sweep executor over scoped worker threads.
+///
+/// Work is distributed from a shared atomic queue; results land in
+/// per-point slots and are reduced by the same serial [`scan`] the
+/// reference implementation uses, so the output is bit-identical at any
+/// thread count (see the module-level determinism contract).
+#[derive(Debug, Clone, Copy)]
+pub struct SweepEngine {
+    threads: usize,
+}
+
+impl SweepEngine {
+    /// An engine running `threads` workers (≥ 1).
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "an engine needs at least one worker");
+        SweepEngine { threads }
+    }
+
+    /// A single-worker engine (parallel code path, serial schedule).
+    pub fn serial() -> Self {
+        SweepEngine::new(1)
+    }
+
+    /// An engine sized to the machine's available parallelism.
+    pub fn available() -> Self {
+        SweepEngine::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Evaluates one rate list concurrently. Returns one slot per rate;
+    /// a `None` slot was skipped because it lies strictly beyond an index
+    /// already known to be saturated (and therefore past where the scan
+    /// stops).
+    fn evaluate_rates(
+        &self,
+        rates: &[f64],
+        latency_factor: f64,
+        eval: impl Fn(f64) -> SweepPoint + Sync,
+    ) -> Vec<Option<SweepPoint>> {
+        let n = rates.len();
+        let slots: Vec<Mutex<Option<SweepPoint>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let state = JobState::new(n);
+        let next = AtomicUsize::new(0);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..self.threads.min(n.max(1)) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    if state.beyond_cutoff(i) {
+                        continue;
+                    }
+                    let point = eval(rates[i]);
+                    state.observe(i, &point, latency_factor);
+                    *slots[i].lock().unwrap() = Some(point);
+                });
+            }
+        })
+        .expect("sweep worker panicked");
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().unwrap())
+            .collect()
+    }
+
+    /// Runs one sweep, bit-identical to [`latency_sweep`] with the same
+    /// arguments at any thread count.
+    pub fn sweep<N: Network>(
+        &self,
+        factory: impl Fn() -> N + Sync,
+        pattern: Pattern,
+        cfg: &SimConfig,
+        params: SweepParams,
+    ) -> SweepResult {
+        let rates = params.rates();
+        let slots = self.evaluate_rates(&rates, params.latency_factor, |rate| {
+            let mut net = factory();
+            evaluate_point(&mut net, pattern, cfg, rate, params.seed)
+        });
+        scan(slots.into_iter().map_while(|p| p), params.latency_factor)
+    }
+
+    /// Runs a batch of heterogeneous sweeps (multi-pattern, multi-fabric)
+    /// over one worker pool, returning one result per job in order. Tasks
+    /// are interleaved by point index so every job's low-rate points — the
+    /// ones that feed its saturation cutoff — are claimed early.
+    pub fn sweep_many(&self, jobs: &[SweepJob<'_>]) -> Vec<SweepResult> {
+        let rates: Vec<Vec<f64>> = jobs.iter().map(|j| j.params.rates()).collect();
+        let max_points = rates.iter().map(Vec::len).max().unwrap_or(0);
+        let mut tasks: Vec<(usize, usize)> = Vec::new();
+        for point in 0..max_points {
+            for (job, job_rates) in rates.iter().enumerate() {
+                if point < job_rates.len() {
+                    tasks.push((job, point));
+                }
+            }
+        }
+        let slots: Vec<Vec<Mutex<Option<SweepPoint>>>> = rates
+            .iter()
+            .map(|r| (0..r.len()).map(|_| Mutex::new(None)).collect())
+            .collect();
+        let states: Vec<JobState> = rates.iter().map(|r| JobState::new(r.len())).collect();
+        let next = AtomicUsize::new(0);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..self.threads.min(tasks.len().max(1)) {
+                scope.spawn(|| loop {
+                    let t = next.fetch_add(1, Ordering::Relaxed);
+                    if t >= tasks.len() {
+                        break;
+                    }
+                    let (j, i) = tasks[t];
+                    if states[j].beyond_cutoff(i) {
+                        continue;
+                    }
+                    let job = &jobs[j];
+                    let mut net = (job.factory)();
+                    let point = evaluate_point(
+                        &mut net,
+                        job.pattern,
+                        &job.cfg,
+                        rates[j][i],
+                        job.params.seed,
+                    );
+                    states[j].observe(i, &point, job.params.latency_factor);
+                    *slots[j][i].lock().unwrap() = Some(point);
+                });
+            }
+        })
+        .expect("sweep worker panicked");
+        slots
+            .into_iter()
+            .zip(jobs)
+            .map(|(row, job)| {
+                scan(
+                    row.into_iter().map_while(|slot| slot.into_inner().unwrap()),
+                    job.params.latency_factor,
+                )
+            })
+            .collect()
+    }
+
+    /// Adaptive sweep: a cheap serial *coarse* pass at every
+    /// `coarse_stride`-th rate brackets the saturation point, then the
+    /// remaining fine points inside the bracket are filled in parallel.
+    /// Coarse points are cached and reused, and the final result comes
+    /// from the same [`scan`] over the full fine grid — because the first
+    /// fine saturated index can never exceed the first coarse saturated
+    /// index, the result is bit-identical to [`latency_sweep`].
+    pub fn adaptive_sweep<N: Network>(
+        &self,
+        factory: impl Fn() -> N + Sync,
+        pattern: Pattern,
+        cfg: &SimConfig,
+        params: SweepParams,
+        coarse_stride: usize,
+    ) -> SweepResult {
+        assert!(coarse_stride >= 1, "stride must be at least 1");
+        let rates = params.rates();
+        let n = rates.len();
+        if n == 0 {
+            return scan(std::iter::empty(), params.latency_factor);
+        }
+        let eval = |rate: f64| {
+            let mut net = factory();
+            evaluate_point(&mut net, pattern, cfg, rate, params.seed)
+        };
+        let mut cache: Vec<Option<SweepPoint>> = vec![None; n];
+        let mut zero_load = f64::NAN;
+        let mut bracket_end = n - 1;
+        let mut i = 0;
+        loop {
+            let point = eval(rates[i]);
+            if i == 0 {
+                zero_load = point.latency.max(1.0);
+            }
+            let saturated = is_saturated(&point, zero_load, params.latency_factor);
+            cache[i] = Some(point);
+            if saturated {
+                bracket_end = i;
+                break;
+            }
+            if i == n - 1 {
+                break;
+            }
+            i = (i + coarse_stride).min(n - 1);
+        }
+        let missing: Vec<usize> = (0..=bracket_end).filter(|&i| cache[i].is_none()).collect();
+        let refined = self.map(&missing, |_, &i| eval(rates[i]));
+        for (&i, point) in missing.iter().zip(refined) {
+            cache[i] = Some(point);
+        }
+        scan(cache.into_iter().map_while(|p| p), params.latency_factor)
+    }
+
+    /// Applies `f` to every item on the worker pool, preserving input
+    /// order in the output. The general fan-out primitive behind the
+    /// benchmark binaries (independent per-benchmark / per-fabric runs).
+    pub fn map<T: Sync, R: Send>(&self, items: &[T], f: impl Fn(usize, &T) -> R + Sync) -> Vec<R> {
+        let n = items.len();
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..self.threads.min(n.max(1)) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let result = f(i, &items[i]);
+                    *slots[i].lock().unwrap() = Some(result);
+                });
+            }
+        })
+        .expect("map worker panicked");
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap()
+                    .expect("every item is evaluated exactly once")
+            })
+            .collect()
     }
 }
 
@@ -93,6 +546,59 @@ mod tests {
             drain: 1_000,
             data_flits,
             ..SimConfig::default()
+        }
+    }
+
+    fn tiny_cfg() -> SimConfig {
+        SimConfig {
+            warmup: 100,
+            measure: 500,
+            drain: 400,
+            data_flits: 3,
+            ..SimConfig::default()
+        }
+    }
+
+    fn tiny_params(seed: u64) -> SweepParams {
+        SweepParams {
+            start: 0.05,
+            step: 0.1,
+            max_rate: 0.65,
+            latency_factor: 4.0,
+            seed,
+        }
+    }
+
+    #[test]
+    fn splitmix64_matches_reference_vector() {
+        // First outputs of the reference splitmix64 generator seeded 0.
+        assert_eq!(splitmix64(0), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(splitmix64(0x9E37_79B9_7F4A_7C15), 0x6E78_9E6A_A1B9_65F4);
+    }
+
+    #[test]
+    fn point_seeds_decorrelate_inputs() {
+        let base = point_seed(7, Pattern::UniformRandom, 0.1);
+        assert_ne!(base, point_seed(8, Pattern::UniformRandom, 0.1));
+        assert_ne!(base, point_seed(7, Pattern::Tornado, 0.1));
+        assert_ne!(base, point_seed(7, Pattern::UniformRandom, 0.105));
+        // Deterministic: same inputs, same seed.
+        assert_eq!(base, point_seed(7, Pattern::UniformRandom, 0.1));
+    }
+
+    #[test]
+    fn rates_are_index_based_not_accumulated() {
+        let params = SweepParams {
+            start: 0.005,
+            step: 0.005,
+            max_rate: 0.1,
+            latency_factor: 4.0,
+            seed: 0,
+        };
+        let rates = params.rates();
+        assert_eq!(rates.len(), 20);
+        for (i, &r) in rates.iter().enumerate() {
+            assert_eq!(r, 0.005 + i as f64 * 0.005);
         }
     }
 
@@ -114,6 +620,155 @@ mod tests {
         for w in result.points.windows(2) {
             assert!(w[1].rate > w[0].rate);
         }
+    }
+
+    #[test]
+    fn parallel_matches_serial_at_any_thread_count() {
+        // Satellite (a): the same sweep must be bit-identical serially and
+        // at 1, 2, and 8 worker threads.
+        let g = Grid::square(4).unwrap();
+        let cfg = tiny_cfg();
+        let params = tiny_params(11);
+        let serial = latency_sweep(
+            || MeshSim::mesh2(g),
+            Pattern::UniformRandom,
+            &cfg,
+            params.start,
+            params.step,
+            params.max_rate,
+            params.latency_factor,
+            params.seed,
+        );
+        for threads in [1, 2, 8] {
+            let engine = SweepEngine::new(threads);
+            let parallel = engine.sweep(|| MeshSim::mesh2(g), Pattern::UniformRandom, &cfg, params);
+            assert_eq!(
+                parallel, serial,
+                "engine with {threads} threads diverged from the serial reference"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_routerless() {
+        let g = Grid::square(4).unwrap();
+        let topo = rec_topology(g).unwrap();
+        let cfg = SimConfig {
+            data_flits: 5,
+            ..tiny_cfg()
+        };
+        let params = tiny_params(3);
+        let serial = latency_sweep(
+            || RouterlessSim::new(&topo),
+            Pattern::Transpose,
+            &cfg,
+            params.start,
+            params.step,
+            params.max_rate,
+            params.latency_factor,
+            params.seed,
+        );
+        let parallel = SweepEngine::new(4).sweep(
+            || RouterlessSim::new(&topo),
+            Pattern::Transpose,
+            &cfg,
+            params,
+        );
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn sweep_many_matches_individual_sweeps() {
+        let g = Grid::square(4).unwrap();
+        let topo = rec_topology(g).unwrap();
+        let mesh_cfg = tiny_cfg();
+        let rless_cfg = SimConfig {
+            data_flits: 5,
+            ..tiny_cfg()
+        };
+        let params = tiny_params(5);
+        let jobs = vec![
+            SweepJob::new(
+                "mesh2/uniform",
+                Pattern::UniformRandom,
+                mesh_cfg.clone(),
+                params,
+                move || MeshSim::mesh2(g),
+            ),
+            SweepJob::new(
+                "rless/tornado",
+                Pattern::Tornado,
+                rless_cfg.clone(),
+                params,
+                {
+                    let topo = topo.clone();
+                    move || RouterlessSim::new(&topo)
+                },
+            ),
+        ];
+        let batch = SweepEngine::new(2).sweep_many(&jobs);
+        assert_eq!(batch.len(), 2);
+        let mesh_alone = latency_sweep(
+            || MeshSim::mesh2(g),
+            Pattern::UniformRandom,
+            &mesh_cfg,
+            params.start,
+            params.step,
+            params.max_rate,
+            params.latency_factor,
+            params.seed,
+        );
+        let rless_alone = latency_sweep(
+            || RouterlessSim::new(&topo),
+            Pattern::Tornado,
+            &rless_cfg,
+            params.start,
+            params.step,
+            params.max_rate,
+            params.latency_factor,
+            params.seed,
+        );
+        assert_eq!(batch[0], mesh_alone);
+        assert_eq!(batch[1], rless_alone);
+    }
+
+    #[test]
+    fn adaptive_matches_plain_sweep() {
+        let g = Grid::square(4).unwrap();
+        let cfg = tiny_cfg();
+        let params = tiny_params(9);
+        let plain = latency_sweep(
+            || MeshSim::mesh2(g),
+            Pattern::UniformRandom,
+            &cfg,
+            params.start,
+            params.step,
+            params.max_rate,
+            params.latency_factor,
+            params.seed,
+        );
+        for stride in [1, 2, 3] {
+            let adaptive = SweepEngine::new(2).adaptive_sweep(
+                || MeshSim::mesh2(g),
+                Pattern::UniformRandom,
+                &cfg,
+                params,
+                stride,
+            );
+            assert_eq!(adaptive, plain, "stride {stride} diverged");
+        }
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let engine = SweepEngine::new(4);
+        let items: Vec<u64> = (0..23).collect();
+        let out = engine.map(&items, |i, &x| {
+            assert_eq!(i as u64, x);
+            x * x
+        });
+        let expected: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        assert_eq!(out, expected);
     }
 
     #[test]

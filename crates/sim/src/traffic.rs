@@ -127,11 +127,18 @@ impl TrafficGen {
         self.rate
     }
 
-    /// Generates this cycle's new packets (at most one per node).
-    /// `measured` marks packets created inside the measurement window.
-    pub fn generate(&mut self, cycle: u64, cfg: &SimConfig, measured: bool) -> Vec<Packet> {
+    /// Generates this cycle's new packets (at most one per node),
+    /// appending them to the caller-owned `out` buffer so steady-state
+    /// generation allocates nothing. `measured` marks packets created
+    /// inside the measurement window.
+    pub fn generate_into(
+        &mut self,
+        cycle: u64,
+        cfg: &SimConfig,
+        measured: bool,
+        out: &mut Vec<Packet>,
+    ) {
         let p_packet = (self.rate / cfg.mean_packet_flits()).min(1.0);
-        let mut out = Vec::new();
         for src in self.grid.nodes() {
             if !self.rng.gen_bool(p_packet) {
                 continue;
@@ -157,6 +164,13 @@ impl TrafficGen {
             });
             self.next_id += 1;
         }
+    }
+
+    /// This cycle's new packets as a fresh vector (allocating convenience
+    /// over [`TrafficGen::generate_into`]).
+    pub fn generate(&mut self, cycle: u64, cfg: &SimConfig, measured: bool) -> Vec<Packet> {
+        let mut out = Vec::new();
+        self.generate_into(cycle, cfg, measured, &mut out);
         out
     }
 }

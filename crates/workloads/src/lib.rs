@@ -225,7 +225,13 @@ impl AppTrafficGen {
 }
 
 impl PacketSource for AppTrafficGen {
-    fn generate(&mut self, cycle: u64, cfg: &SimConfig, measured: bool) -> Vec<Packet> {
+    fn generate_into(
+        &mut self,
+        cycle: u64,
+        cfg: &SimConfig,
+        measured: bool,
+        out: &mut Vec<Packet>,
+    ) {
         // Burst-state transitions: mean dwell `burst_len` in ON; OFF dwell
         // chosen so the long-run duty matches the model.
         let p_leave_on = 1.0 / self.model.burst_len.max(1.0);
@@ -236,7 +242,6 @@ impl PacketSource for AppTrafficGen {
         let on_rate = (self.model.rate / self.model.duty.max(1e-9)).min(1.0);
         let p_packet = (on_rate / cfg.mean_packet_flits()).min(1.0);
 
-        let mut out = Vec::new();
         for src in 0..self.grid.len() {
             let flip = if self.on[src] {
                 p_leave_on
@@ -270,7 +275,6 @@ impl PacketSource for AppTrafficGen {
             });
             self.next_id += 1;
         }
-        out
     }
 }
 
