@@ -1,0 +1,207 @@
+//! Checkpoint/resume for long exploration runs.
+//!
+//! A checkpoint captures the *learned* state of a run — the parent
+//! network's parameters and generation, the number of cycles completed, and
+//! the best design found so far — as one JSON file written atomically
+//! (temp file + rename), so a killed run restarts where it left off
+//! instead of from scratch. The search tree and evaluation cache are
+//! deliberately not captured: both are derived state the restored network
+//! re-learns, and the cache is invalidated by any parameter change anyway.
+//!
+//! Consumers: [`crate::Explorer::run_checkpointed`] for the
+//! single-threaded driver and
+//! [`crate::parallel::explore_parallel_checkpointed`] for the supervised
+//! parallel learner.
+
+use crate::explorer::DesignResult;
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
+use std::path::{Path, PathBuf};
+
+/// A checkpoint save/load failure.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure reading or writing the checkpoint file.
+    Io(std::io::Error),
+    /// The file exists but does not parse as a checkpoint (corrupt,
+    /// truncated mid-write on a non-atomic filesystem, or from an
+    /// incompatible version).
+    Format(serde_json::Error),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Format(e) => write!(f, "checkpoint format error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            CheckpointError::Format(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for CheckpointError {
+    fn from(e: serde_json::Error) -> Self {
+        CheckpointError::Format(e)
+    }
+}
+
+/// Where and how often to checkpoint.
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Checkpoint file location. If the file exists when a checkpointed
+    /// run starts, the run resumes from it.
+    pub path: PathBuf,
+    /// Save every this many completed cycles (clamped to ≥ 1); a final
+    /// save always happens at completion.
+    pub every: usize,
+}
+
+impl CheckpointConfig {
+    /// A config saving to `path` every `every` cycles.
+    pub fn new(path: impl Into<PathBuf>, every: usize) -> Self {
+        CheckpointConfig {
+            path: path.into(),
+            every,
+        }
+    }
+}
+
+/// The durable state of an exploration run.
+#[derive(Debug, Clone)]
+pub struct ExploreCheckpoint<E> {
+    /// Exploration cycles completed across all runs so far.
+    pub cycles_done: usize,
+    /// The seed of the run (restored runs must pass the same seed).
+    pub seed: u64,
+    /// Parameter generation matching [`ExploreCheckpoint::params`].
+    pub param_generation: u64,
+    /// Snapshot of the (parent) network parameters.
+    pub params: Vec<rlnoc_nn::Tensor>,
+    /// Best successful design found so far, across all runs.
+    pub best: Option<DesignResult<E>>,
+}
+
+// Manual serde impls: the vendored derive does not handle generic types.
+impl<E: Serialize> Serialize for ExploreCheckpoint<E> {
+    fn serialize(&self) -> Value {
+        Value::Object(vec![
+            (String::from("cycles_done"), self.cycles_done.serialize()),
+            (String::from("seed"), self.seed.serialize()),
+            (
+                String::from("param_generation"),
+                self.param_generation.serialize(),
+            ),
+            (String::from("params"), self.params.serialize()),
+            (String::from("best"), self.best.serialize()),
+        ])
+    }
+}
+
+impl<E: Deserialize> Deserialize for ExploreCheckpoint<E> {
+    fn deserialize(value: &Value) -> Result<Self, SerdeError> {
+        let field = |name: &str| {
+            value.get(name).ok_or_else(|| {
+                SerdeError::custom(format!("missing field `{name}` in ExploreCheckpoint"))
+            })
+        };
+        Ok(ExploreCheckpoint {
+            cycles_done: usize::deserialize(field("cycles_done")?)?,
+            seed: u64::deserialize(field("seed")?)?,
+            param_generation: u64::deserialize(field("param_generation")?)?,
+            params: Vec::deserialize(field("params")?)?,
+            best: Option::deserialize(field("best")?)?,
+        })
+    }
+}
+
+impl<E: Serialize + Deserialize> ExploreCheckpoint<E> {
+    /// Writes the checkpoint atomically: serialized to `<path>.tmp`, then
+    /// renamed over `path`, so a crash mid-write never corrupts an
+    /// existing checkpoint.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let json = serde_json::to_string(self)?;
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Reads a checkpoint back.
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        let text = std::fs::read_to_string(path)?;
+        Ok(serde_json::from_str(&text)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routerless::RouterlessEnv;
+    use rlnoc_topology::Grid;
+
+    fn scratch(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("rlnoc_ckpt_{}_{name}.json", std::process::id()))
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let env = RouterlessEnv::new(Grid::square(3).unwrap(), 4);
+        let cp = ExploreCheckpoint {
+            cycles_done: 7,
+            seed: 42,
+            param_generation: 7,
+            params: vec![rlnoc_nn::Tensor::zeros(&[2, 3])],
+            best: Some(DesignResult {
+                env,
+                final_return: -1.25,
+                cycle: 3,
+                steps: 5,
+                successful: true,
+            }),
+        };
+        let path = scratch("roundtrip");
+        cp.save(&path).unwrap();
+        let back = ExploreCheckpoint::<RouterlessEnv>::load(&path).unwrap();
+        assert_eq!(back.cycles_done, 7);
+        assert_eq!(back.seed, 42);
+        assert_eq!(back.param_generation, 7);
+        assert_eq!(back.params, cp.params);
+        let best = back.best.unwrap();
+        assert_eq!(best.final_return, -1.25);
+        assert_eq!(best.cycle, 3);
+        assert!(best.successful);
+        // The temp file is gone after the atomic rename.
+        assert!(!path.with_extension("json.tmp").exists());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = ExploreCheckpoint::<RouterlessEnv>::load(&scratch("missing")).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)));
+    }
+
+    #[test]
+    fn load_garbage_is_format_error() {
+        let path = scratch("garbage");
+        std::fs::write(&path, b"not json {").unwrap();
+        let err = ExploreCheckpoint::<RouterlessEnv>::load(&path).unwrap_err();
+        assert!(matches!(err, CheckpointError::Format(_)));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

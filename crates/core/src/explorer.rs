@@ -2,12 +2,14 @@
 //! design cycles with actor-critic learning after each cycle.
 
 use crate::cache::{CacheStats, EvalCache, EvalCacheHandle};
+use crate::checkpoint::{CheckpointConfig, CheckpointError, ExploreCheckpoint};
 use crate::env::Environment;
 use crate::mcts::{Mcts, MctsConfig};
 use crate::policy::{Episode, Evaluation, PolicyAgent, Step, TrainConfig, TrainStats};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use rlnoc_nn::PolicyValueConfig;
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 
 /// Tunables for the exploration loop.
 #[derive(Debug, Clone)]
@@ -87,6 +89,36 @@ pub struct DesignResult<E> {
     /// Whether the design meets the environment's success criterion (full
     /// connectivity for routerless NoCs).
     pub successful: bool,
+}
+
+// Manual serde impls: the vendored derive does not handle generic types.
+impl<E: Serialize> Serialize for DesignResult<E> {
+    fn serialize(&self) -> Value {
+        Value::Object(vec![
+            (String::from("env"), self.env.serialize()),
+            (String::from("final_return"), self.final_return.serialize()),
+            (String::from("cycle"), self.cycle.serialize()),
+            (String::from("steps"), self.steps.serialize()),
+            (String::from("successful"), self.successful.serialize()),
+        ])
+    }
+}
+
+impl<E: Deserialize> Deserialize for DesignResult<E> {
+    fn deserialize(value: &Value) -> Result<Self, SerdeError> {
+        let field = |name: &str| {
+            value.get(name).ok_or_else(|| {
+                SerdeError::custom(format!("missing field `{name}` in DesignResult"))
+            })
+        };
+        Ok(DesignResult {
+            env: E::deserialize(field("env")?)?,
+            final_return: f64::deserialize(field("final_return")?)?,
+            cycle: usize::deserialize(field("cycle")?)?,
+            steps: usize::deserialize(field("steps")?)?,
+            successful: bool::deserialize(field("successful")?)?,
+        })
+    }
 }
 
 /// Outcome of a whole exploration run.
@@ -326,6 +358,7 @@ pub struct Explorer<E: Environment> {
     cache: EvalCache,
     config: ExplorerConfig,
     rng: StdRng,
+    seed: u64,
 }
 
 impl<E: Environment> Explorer<E> {
@@ -344,6 +377,7 @@ impl<E: Environment> Explorer<E> {
             cache,
             config,
             rng: StdRng::seed_from_u64(seed.wrapping_add(0x9E37_79B9_7F4A_7C15)),
+            seed,
         }
     }
 
@@ -409,6 +443,109 @@ impl<E: Environment> Explorer<E> {
             cycles_run: cycles,
             cache_stats: self.cache.stats(),
         }
+    }
+
+    /// Re-derives the exploration RNG stream for the batch beginning at
+    /// global cycle `cycles_done`, so [`Explorer::run_checkpointed`] is
+    /// deterministic whether or not a run was interrupted between batches.
+    fn reseed_at(&mut self, cycles_done: usize) {
+        self.rng = StdRng::seed_from_u64(
+            self.seed
+                .wrapping_add(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((cycles_done as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9)),
+        );
+    }
+}
+
+/// The outcome of [`Explorer::run_checkpointed`].
+#[derive(Debug, Clone)]
+pub struct CheckpointedRun<E> {
+    /// Report over the cycles run by *this* call (a resumed run only
+    /// reports the cycles it actually executed).
+    pub report: ExploreReport<E>,
+    /// Cycles that were already complete in the loaded checkpoint
+    /// (0 for a fresh run).
+    pub resumed_from: usize,
+    /// Best successful design across all runs, restored ones included.
+    pub best: Option<DesignResult<E>>,
+}
+
+impl<E> Explorer<E>
+where
+    E: Environment + Serialize + Deserialize,
+{
+    /// Runs up to `total_cycles` cycles with periodic checkpointing: if
+    /// [`CheckpointConfig::path`] exists the run resumes from it (network
+    /// parameters and best design restored, only the remaining cycles
+    /// executed); every [`CheckpointConfig::every`] cycles, and at
+    /// completion, the state is saved atomically.
+    ///
+    /// The RNG stream is re-derived at each batch boundary from the seed
+    /// and the global cycle index, so resuming from a given checkpoint is
+    /// fully deterministic: two resumptions of the same file take identical
+    /// cycles. A resumed run is a *continuation*, not a bit-identical
+    /// replay of the uninterrupted one — the search tree, evaluation cache,
+    /// and optimizer moments are derived state that is rebuilt rather than
+    /// checkpointed (see [`crate::checkpoint`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] if the checkpoint cannot be read or
+    /// written; exploration state already in memory is unaffected.
+    pub fn run_checkpointed(
+        &mut self,
+        total_cycles: usize,
+        ckpt: &CheckpointConfig,
+    ) -> Result<CheckpointedRun<E>, CheckpointError> {
+        let mut done = 0usize;
+        let mut best: Option<DesignResult<E>> = None;
+        if ckpt.path.exists() {
+            let cp = ExploreCheckpoint::<E>::load(&ckpt.path)?;
+            self.agent.net_mut().load_params(&cp.params);
+            self.agent.set_param_generation(cp.param_generation);
+            done = cp.cycles_done;
+            best = cp.best;
+        }
+        let resumed_from = done;
+        let every = ckpt.every.max(1);
+        let mut designs = Vec::new();
+        let mut train_history = Vec::new();
+        while done < total_cycles {
+            let batch = every.min(total_cycles - done);
+            self.reseed_at(done);
+            let mut r = self.run_cycles(batch);
+            for d in &mut r.designs {
+                d.cycle += done; // local batch indices → global cycle indices
+                let better = d.successful
+                    && best
+                        .as_ref()
+                        .is_none_or(|b| d.final_return > b.final_return);
+                if better {
+                    best = Some(d.clone());
+                }
+            }
+            designs.append(&mut r.designs);
+            train_history.append(&mut r.train_history);
+            done += batch;
+            ExploreCheckpoint {
+                cycles_done: done,
+                seed: self.seed,
+                param_generation: self.agent.param_generation(),
+                params: self.agent.net_mut().param_snapshot(),
+                best: best.clone(),
+            }
+            .save(&ckpt.path)?;
+        }
+        Ok(CheckpointedRun {
+            report: ExploreReport {
+                cycles_run: designs.len(),
+                designs,
+                train_history,
+                cache_stats: self.cache.stats(),
+            },
+            resumed_from,
+            best,
+        })
     }
 }
 
@@ -505,6 +642,70 @@ mod tests {
         without.complete_designs = false;
         let report = Explorer::new(env, without, 9).run();
         assert_eq!(report.successful_count(), 0);
+    }
+
+    #[test]
+    fn checkpointed_run_resumes_deterministically() {
+        use crate::checkpoint::CheckpointConfig;
+        let path =
+            std::env::temp_dir().join(format!("rlnoc_explorer_ckpt_{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let env = RouterlessEnv::new(Grid::square(3).unwrap(), 4);
+        let ckpt = CheckpointConfig::new(&path, 2);
+        let key = |r: &ExploreReport<RouterlessEnv>| {
+            r.designs
+                .iter()
+                .map(|d| (d.cycle, d.steps, d.successful, d.final_return))
+                .collect::<Vec<_>>()
+        };
+
+        // "Killed" run: one process completes 2 of 4 cycles.
+        let first = Explorer::new(env.clone(), quick_config(2), 11)
+            .run_checkpointed(2, &ckpt)
+            .unwrap();
+        assert_eq!(first.resumed_from, 0);
+        assert_eq!(first.report.cycles_run, 2);
+        let first_best = first.best.as_ref().map(|d| d.final_return);
+
+        // Two fresh processes resuming from the *same* checkpoint must
+        // take identical cycles (resume is deterministic).
+        let snapshot = std::fs::read(&path).unwrap();
+        let second = Explorer::new(env.clone(), quick_config(4), 11)
+            .run_checkpointed(4, &ckpt)
+            .unwrap();
+        std::fs::write(&path, &snapshot).unwrap();
+        let replay = Explorer::new(env.clone(), quick_config(4), 11)
+            .run_checkpointed(4, &ckpt)
+            .unwrap();
+        assert_eq!(second.resumed_from, 2);
+        assert_eq!(second.report.cycles_run, 2, "only the remaining cycles run");
+        assert_eq!(
+            second
+                .report
+                .designs
+                .iter()
+                .map(|d| d.cycle)
+                .collect::<Vec<_>>(),
+            vec![2, 3],
+            "resumed cycles carry global indices"
+        );
+        assert_eq!(key(&second.report), key(&replay.report));
+        // Best-so-far survives the restart (it can only improve).
+        if let Some(fb) = first_best {
+            let sb = second
+                .best
+                .expect("restored best must persist")
+                .final_return;
+            assert!(sb >= fb, "best degraded across resume: {sb} < {fb}");
+        }
+
+        // A finished checkpoint leaves nothing to do.
+        let third = Explorer::new(env, quick_config(4), 11)
+            .run_checkpointed(4, &ckpt)
+            .unwrap();
+        assert_eq!(third.resumed_from, 4);
+        assert_eq!(third.report.cycles_run, 0);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -38,6 +38,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cache;
+pub mod checkpoint;
 pub mod env;
 pub mod envs;
 pub mod explorer;
@@ -50,8 +51,13 @@ pub mod rollout;
 pub mod routerless;
 
 pub use cache::{CacheStats, EvalCache, EvalCacheHandle, NoCache};
+pub use checkpoint::{CheckpointConfig, CheckpointError, ExploreCheckpoint};
 pub use env::Environment;
-pub use explorer::{DesignResult, ExploreReport, Explorer, ExplorerConfig};
+pub use explorer::{CheckpointedRun, DesignResult, ExploreReport, Explorer, ExplorerConfig};
 pub use mcts::{Mcts, MctsConfig};
+pub use parallel::{
+    explore_parallel, explore_parallel_checkpointed, explore_parallel_supervised, ExploreError,
+    JoinError, SupervisedReport, SupervisionConfig, SupervisionReport,
+};
 pub use policy::{Episode, PolicyAgent, Step, TrainConfig};
 pub use routerless::{DesignConstraints, LoopAction, RouterlessEnv};

@@ -9,16 +9,66 @@
 //! clipping inside [`PolicyAgent::step_optimizer`], matching the paper's
 //! note that averaging "both large gradients and small gradients" steadies
 //! training.
+//!
+//! # Fault tolerance
+//!
+//! [`explore_parallel_supervised`] hardens the learner for long runs: each
+//! worker cycle executes under [`std::panic::catch_unwind`], a panicking
+//! worker is respawned in place with fresh state (up to
+//! [`SupervisionConfig::max_respawns_per_worker`] times), the cycle it was
+//! running is requeued, and shutdown never unwraps shared state with a bare
+//! `expect` — leaked handles surface as a typed [`JoinError`] and exhausted
+//! workers as [`ExploreError::WorkersExhausted`] carrying the partial
+//! results. [`explore_parallel_checkpointed`] additionally snapshots the
+//! parent network and best design to disk so a killed run restarts where it
+//! left off.
 
-use crate::cache::{EvalCache, EvalCacheHandle};
+use crate::cache::{CacheStats, EvalCache, EvalCacheHandle};
+use crate::checkpoint::{CheckpointConfig, CheckpointError, ExploreCheckpoint};
 use crate::env::Environment;
 use crate::explorer::{DesignResult, ExploreReport, ExplorerConfig, TreeHandle};
 use crate::mcts::Mcts;
-use crate::policy::{Evaluation, PolicyAgent};
+use crate::policy::{Evaluation, PolicyAgent, TrainStats};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::cell::Cell;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Error returned when a shared resource cannot be reclaimed at shutdown
+/// because handles to it are still alive (a worker leaked its clone).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinError {
+    /// Human-readable name of the shared resource.
+    pub resource: &'static str,
+    /// Number of other handles still holding the resource.
+    pub outstanding: usize,
+}
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cannot reclaim shared {}: {} handle(s) still outstanding",
+            self.resource, self.outstanding
+        )
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+/// Reclaims a shared value after the owning scope has joined. Never
+/// panics: if a handle somehow survived, the value is moved out from
+/// behind the lock instead.
+fn drain_shared<T: Default>(arc: Arc<Mutex<T>>) -> T {
+    match Arc::try_unwrap(arc) {
+        Ok(m) => m.into_inner(),
+        Err(arc) => std::mem::take(&mut *arc.lock()),
+    }
+}
 
 /// A [`TreeHandle`] that serializes access to a tree shared across child
 /// threads (the parent's "query queue" in Figure 8).
@@ -37,15 +87,34 @@ impl<A: Copy + Eq + std::hash::Hash + std::fmt::Debug> SharedTree<A> {
         SharedTree(Arc::new(Mutex::new(tree)))
     }
 
+    /// Extracts the tree once all other handles are dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JoinError`] naming the outstanding handle count if other
+    /// clones are still alive (the tree stays owned by them; this handle is
+    /// consumed either way).
+    pub fn try_into_inner(self) -> Result<Mcts<A>, JoinError> {
+        let outstanding = Arc::strong_count(&self.0) - 1;
+        Arc::try_unwrap(self.0)
+            .map(Mutex::into_inner)
+            .map_err(|_| JoinError {
+                resource: "search tree",
+                outstanding,
+            })
+    }
+
     /// Extracts the tree once all handles are done.
     ///
     /// # Panics
     ///
-    /// Panics if other handles still exist.
+    /// Panics if other handles still exist; prefer
+    /// [`SharedTree::try_into_inner`].
     pub fn into_inner(self) -> Mcts<A> {
-        Arc::try_unwrap(self.0)
-            .expect("all shared-tree handles must be dropped first")
-            .into_inner()
+        match self.try_into_inner() {
+            Ok(tree) => tree,
+            Err(e) => panic!("{e}"),
+        }
     }
 }
 
@@ -83,15 +152,39 @@ impl SharedEvalCache {
         SharedEvalCache(Arc::new(Mutex::new(cache)))
     }
 
+    /// Hit/miss counters accumulated so far (lock-and-read; usable while
+    /// other handles are alive).
+    pub fn stats(&self) -> CacheStats {
+        self.0.lock().stats()
+    }
+
+    /// Extracts the cache once all other handles are dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JoinError`] naming the outstanding handle count if other
+    /// clones are still alive.
+    pub fn try_into_inner(self) -> Result<EvalCache, JoinError> {
+        let outstanding = Arc::strong_count(&self.0) - 1;
+        Arc::try_unwrap(self.0)
+            .map(Mutex::into_inner)
+            .map_err(|_| JoinError {
+                resource: "evaluation cache",
+                outstanding,
+            })
+    }
+
     /// Extracts the cache once all handles are done.
     ///
     /// # Panics
     ///
-    /// Panics if other handles still exist.
+    /// Panics if other handles still exist; prefer
+    /// [`SharedEvalCache::try_into_inner`].
     pub fn into_inner(self) -> EvalCache {
-        Arc::try_unwrap(self.0)
-            .expect("all shared-cache handles must be dropped first")
-            .into_inner()
+        match self.try_into_inner() {
+            Ok(cache) => cache,
+            Err(e) => panic!("{e}"),
+        }
     }
 }
 
@@ -104,13 +197,179 @@ impl EvalCacheHandle for SharedEvalCache {
     }
 }
 
+/// Supervision knobs for [`explore_parallel_supervised`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisionConfig {
+    /// How many times a panicked worker is restarted in place (with a fresh
+    /// environment, local network replica, and a respawn-salted RNG) before
+    /// it is written off. The cycle a panicking worker had claimed is always
+    /// requeued for any surviving worker to pick up.
+    pub max_respawns_per_worker: usize,
+}
+
+impl Default for SupervisionConfig {
+    fn default() -> Self {
+        SupervisionConfig {
+            max_respawns_per_worker: 3,
+        }
+    }
+}
+
+/// What the supervisor observed over one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SupervisionReport {
+    /// Worker panics caught (each is also a requeued cycle).
+    pub panics: u64,
+    /// In-place worker restarts performed.
+    pub respawns: u64,
+    /// Workers that exhausted their respawn budget and were written off.
+    pub workers_lost: usize,
+}
+
+/// A supervised exploration outcome: the merged report plus what the
+/// supervisor had to do to produce it.
+#[derive(Debug, Clone)]
+pub struct SupervisedReport<E> {
+    /// The merged exploration report (cycles run in *this* process).
+    pub report: ExploreReport<E>,
+    /// Panic/respawn accounting.
+    pub supervision: SupervisionReport,
+    /// Cycles already completed by a previous run when resuming from a
+    /// checkpoint (0 unless [`explore_parallel_checkpointed`] resumed).
+    pub resumed_from: usize,
+}
+
+/// Typed failure modes of the supervised exploration drivers.
+#[derive(Debug)]
+pub enum ExploreError<E> {
+    /// `threads` was zero.
+    ZeroThreads,
+    /// Every worker exhausted its respawn budget before all requested
+    /// cycles completed. The partial results are preserved.
+    WorkersExhausted {
+        /// Everything that completed before the pool died.
+        partial: Box<SupervisedReport<E>>,
+        /// The cycle count originally requested.
+        requested: usize,
+    },
+    /// A shared resource could not be reclaimed at shutdown.
+    Join(JoinError),
+    /// Saving or loading a checkpoint failed
+    /// (only from [`explore_parallel_checkpointed`]).
+    Checkpoint(CheckpointError),
+}
+
+impl<E> std::fmt::Display for ExploreError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExploreError::ZeroThreads => write!(f, "need at least one thread"),
+            ExploreError::WorkersExhausted { partial, requested } => write!(
+                f,
+                "all workers exhausted their respawn budgets after {} of {} cycles \
+                 ({} panics)",
+                partial.report.cycles_run, requested, partial.supervision.panics
+            ),
+            ExploreError::Join(e) => write!(f, "{e}"),
+            ExploreError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
+        }
+    }
+}
+
+impl<E: std::fmt::Debug> std::error::Error for ExploreError<E> {}
+
+impl<E> From<JoinError> for ExploreError<E> {
+    fn from(e: JoinError) -> Self {
+        ExploreError::Join(e)
+    }
+}
+
+impl<E> From<CheckpointError> for ExploreError<E> {
+    fn from(e: CheckpointError) -> Self {
+        ExploreError::Checkpoint(e)
+    }
+}
+
+/// The worker RNG for incarnation `respawns` of worker `t` — incarnation 0
+/// matches the historical [`explore_parallel`] stream, so a panic-free
+/// supervised run explores identically to the unsupervised one.
+fn worker_rng(seed: u64, t: usize, threads: usize, respawns: usize) -> StdRng {
+    StdRng::seed_from_u64(
+        seed.wrapping_add(1 + t as u64 + (threads as u64) * (respawns as u64))
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    )
+}
+
+/// One complete worker cycle: pull parameters, run an episode against the
+/// shared tree, push gradients, warm the cache, record the result. Shared
+/// by the supervised and unsupervised drivers.
+#[allow(clippy::too_many_arguments)]
+fn run_worker_cycle<E: Environment>(
+    env: &mut E,
+    local: &mut PolicyAgent,
+    tree: &mut SharedTree<E::Action>,
+    cache: &mut SharedEvalCache,
+    parent: &Mutex<PolicyAgent>,
+    config: &ExplorerConfig,
+    rng: &mut StdRng,
+    cycle: usize,
+    results: &Mutex<Vec<DesignResult<E>>>,
+    stats_log: &Mutex<Vec<TrainStats>>,
+) {
+    // θ: parent → child, tagged with the parent's generation so cached
+    // evaluations stay consistent.
+    let (snapshot, generation) = {
+        let mut p = parent.lock();
+        (p.net_mut().param_snapshot(), p.param_generation())
+    };
+    local.net_mut().load_params(&snapshot);
+    local.set_param_generation(generation);
+    local.net_mut().zero_grad();
+
+    let (episode, path) = crate::explorer::run_episode(env, local, tree, cache, config, rng);
+    let returns = episode.returns(config.train.gamma);
+    tree.backup(&path, &returns);
+
+    // dθ: child → parent. The post-step snapshot is taken under the same
+    // lock so it is consistent with the generation it is tagged with.
+    let mut stats = local.accumulate_episode(env, &episode);
+    let grads = local.net_mut().grad_snapshot();
+    let stepped = {
+        let mut p = parent.lock();
+        p.net_mut().accumulate_grads(&grads);
+        stats.grad_norm = p.step_optimizer();
+        if config.eval_cache_capacity > 0 {
+            Some((p.net_mut().param_snapshot(), p.param_generation()))
+        } else {
+            None
+        }
+    };
+    // Warm the shared cache under the new parameters: one batched forward
+    // over this episode's visited states, so the next cycle's root
+    // expansion (any worker) hits.
+    if let Some((snapshot, generation)) = stepped {
+        local.net_mut().load_params(&snapshot);
+        local.set_param_generation(generation);
+        crate::explorer::warm_cache(local, cache, &episode, &path, config.max_steps);
+    }
+    stats_log.lock().push(stats);
+    results.lock().push(DesignResult {
+        successful: env.is_successful(),
+        env: env.clone(),
+        final_return: episode.final_return,
+        cycle,
+        steps: episode.steps.len(),
+    });
+}
+
 /// Runs `total_cycles` exploration cycles split across `threads` child
 /// agents with a shared tree and parent parameter server, returning the
 /// merged report (designs tagged with global cycle indices, in completion
 /// order).
 ///
 /// With `threads == 1` this is behaviourally equivalent to
-/// [`crate::Explorer`] modulo scheduling.
+/// [`crate::Explorer`] modulo scheduling. A panicking worker propagates at
+/// scope join; long or untrusted runs should prefer
+/// [`explore_parallel_supervised`].
 ///
 /// # Panics
 ///
@@ -154,10 +413,7 @@ where
                     Some(net_cfg) => PolicyAgent::new(net_cfg.clone(), config.train.clone(), seed),
                     None => PolicyAgent::for_env(&env, config.train.clone(), seed),
                 };
-                let mut rng = StdRng::seed_from_u64(
-                    seed.wrapping_add(1 + t as u64)
-                        .wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                );
+                let mut rng = worker_rng(seed, t, threads, 0);
                 loop {
                     // Claim a cycle index, or finish.
                     let cycle = {
@@ -169,72 +425,19 @@ where
                         *c += 1;
                         mine
                     };
-                    // θ: parent → child, tagged with the parent's
-                    // generation so cached evaluations stay consistent.
-                    let (snapshot, generation) = {
-                        let mut p = parent.lock();
-                        (p.net_mut().param_snapshot(), p.param_generation())
-                    };
-                    local.net_mut().load_params(&snapshot);
-                    local.set_param_generation(generation);
-                    local.net_mut().zero_grad();
-
-                    let (episode, path) = crate::explorer::run_episode(
-                        &mut env, &mut local, &mut tree, &mut cache, &config, &mut rng,
+                    run_worker_cycle(
+                        &mut env, &mut local, &mut tree, &mut cache, &parent, &config, &mut rng,
+                        cycle, &results, &stats_log,
                     );
-                    let returns = episode.returns(config.train.gamma);
-                    tree.backup(&path, &returns);
-
-                    // dθ: child → parent. The post-step snapshot is taken
-                    // under the same lock so it is consistent with the
-                    // generation it is tagged with.
-                    let mut stats = local.accumulate_episode(&env, &episode);
-                    let grads = local.net_mut().grad_snapshot();
-                    let stepped = {
-                        let mut p = parent.lock();
-                        p.net_mut().accumulate_grads(&grads);
-                        stats.grad_norm = p.step_optimizer();
-                        if config.eval_cache_capacity > 0 {
-                            Some((p.net_mut().param_snapshot(), p.param_generation()))
-                        } else {
-                            None
-                        }
-                    };
-                    // Warm the shared cache under the new parameters: one
-                    // batched forward over this episode's visited states,
-                    // so the next cycle's root expansion (any worker) hits.
-                    if let Some((snapshot, generation)) = stepped {
-                        local.net_mut().load_params(&snapshot);
-                        local.set_param_generation(generation);
-                        crate::explorer::warm_cache(
-                            &mut local,
-                            &mut cache,
-                            &episode,
-                            &path,
-                            config.max_steps,
-                        );
-                    }
-                    stats_log.lock().push(stats);
-                    results.lock().push(DesignResult {
-                        successful: env.is_successful(),
-                        env: env.clone(),
-                        final_return: episode.final_return,
-                        cycle,
-                        steps: episode.steps.len(),
-                    });
                 }
             });
         }
     });
 
-    let mut designs = Arc::try_unwrap(results)
-        .expect("worker threads joined")
-        .into_inner();
+    let mut designs = drain_shared(results);
     designs.sort_by_key(|d| d.cycle);
-    let train_history = Arc::try_unwrap(stats_log)
-        .expect("worker threads joined")
-        .into_inner();
-    let cache_stats = cache.into_inner().stats();
+    let train_history = drain_shared(stats_log);
+    let cache_stats = cache.stats();
     ExploreReport {
         cycles_run: designs.len(),
         designs,
@@ -243,11 +446,300 @@ where
     }
 }
 
+/// [`explore_parallel`] hardened for long runs: every worker cycle executes
+/// under `catch_unwind`, panicked workers are respawned in place (bounded
+/// by [`SupervisionConfig::max_respawns_per_worker`]) with the lost cycle
+/// requeued, and shutdown returns typed errors instead of panicking.
+///
+/// On success the [`SupervisedReport`] carries the merged exploration
+/// report plus panic/respawn accounting. If every worker dies permanently
+/// before the requested cycles complete, the partial results are returned
+/// inside [`ExploreError::WorkersExhausted`].
+///
+/// # Caveats
+///
+/// A worker that panics *while holding the parent lock mid-optimizer-step*
+/// can leave the parent parameters mid-update; `parking_lot` mutexes do not
+/// poison, so the run continues from those parameters. This trades strict
+/// transactionality for availability, which is the right call for a
+/// stochastic learner.
+pub fn explore_parallel_supervised<E>(
+    env: &E,
+    config: &ExplorerConfig,
+    threads: usize,
+    total_cycles: usize,
+    seed: u64,
+    supervision: SupervisionConfig,
+) -> Result<SupervisedReport<E>, ExploreError<E>>
+where
+    E: Environment + Send + Sync,
+    E::Action: Send + Sync,
+{
+    explore_supervised_inner(
+        env,
+        config,
+        threads,
+        total_cycles,
+        seed,
+        supervision,
+        0,
+        None,
+        |_, _, _| Ok(()),
+    )
+}
+
+/// [`explore_parallel_supervised`] with periodic checkpointing: every
+/// [`CheckpointConfig::every`] completed cycles the parent network, its
+/// parameter generation, and the best design so far are written atomically
+/// to [`CheckpointConfig::path`]; if that file already exists the run
+/// resumes from it (restored parameters, remaining cycles only).
+///
+/// The search tree and evaluation cache are rebuilt on resume — they are
+/// derived state, re-learnable from the restored network — so a resumed
+/// run is a continuation, not a bit-identical replay of the uninterrupted
+/// one. The checkpoint's `best` field tracks the best design across *all*
+/// runs, including ones before a restart.
+pub fn explore_parallel_checkpointed<E>(
+    env: &E,
+    config: &ExplorerConfig,
+    threads: usize,
+    total_cycles: usize,
+    seed: u64,
+    supervision: SupervisionConfig,
+    ckpt: &CheckpointConfig,
+) -> Result<SupervisedReport<E>, ExploreError<E>>
+where
+    E: Environment + Send + Sync + Serialize + Deserialize,
+    E::Action: Send + Sync,
+{
+    let (resumed_from, restored_params, restored_best) = if ckpt.path.exists() {
+        let cp = ExploreCheckpoint::<E>::load(&ckpt.path)?;
+        (
+            cp.cycles_done,
+            Some((cp.params, cp.param_generation)),
+            cp.best,
+        )
+    } else {
+        (0, None, None)
+    };
+    let run_cycles = total_cycles.saturating_sub(resumed_from);
+    let every = ckpt.every.max(1);
+    let best = Mutex::new(restored_best);
+    let last_saved = Mutex::new(resumed_from);
+    let save = |completed: usize,
+                parent: &Mutex<PolicyAgent>,
+                results: &Mutex<Vec<DesignResult<E>>>|
+     -> Result<(), CheckpointError> {
+        let done = resumed_from + completed;
+        {
+            // Save on cadence, plus once at exact completion.
+            let mut last = last_saved.lock();
+            if done < *last + every && completed != run_cycles {
+                return Ok(());
+            }
+            *last = done;
+        }
+        let mut best = best.lock();
+        for d in results.lock().iter() {
+            let better = d.successful
+                && best
+                    .as_ref()
+                    .is_none_or(|b| d.final_return > b.final_return);
+            if better {
+                *best = Some(d.clone());
+            }
+        }
+        let (params, param_generation) = {
+            let mut p = parent.lock();
+            (p.net_mut().param_snapshot(), p.param_generation())
+        };
+        ExploreCheckpoint {
+            cycles_done: done,
+            seed,
+            param_generation,
+            params,
+            best: best.clone(),
+        }
+        .save(&ckpt.path)
+    };
+    explore_supervised_inner(
+        env,
+        config,
+        threads,
+        run_cycles,
+        seed,
+        supervision,
+        resumed_from,
+        restored_params,
+        save,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn explore_supervised_inner<E, F>(
+    env: &E,
+    config: &ExplorerConfig,
+    threads: usize,
+    total_cycles: usize,
+    seed: u64,
+    supervision: SupervisionConfig,
+    cycle_offset: usize,
+    initial_params: Option<(Vec<rlnoc_nn::Tensor>, u64)>,
+    on_progress: F,
+) -> Result<SupervisedReport<E>, ExploreError<E>>
+where
+    E: Environment + Send + Sync,
+    E::Action: Send + Sync,
+    F: Fn(usize, &Mutex<PolicyAgent>, &Mutex<Vec<DesignResult<E>>>) -> Result<(), CheckpointError>
+        + Sync,
+{
+    if threads == 0 {
+        return Err(ExploreError::ZeroThreads);
+    }
+    let mut parent_agent = match &config.net {
+        Some(net_cfg) => PolicyAgent::new(net_cfg.clone(), config.train.clone(), seed),
+        None => PolicyAgent::for_env(env, config.train.clone(), seed),
+    };
+    if let Some((params, generation)) = &initial_params {
+        parent_agent.net_mut().load_params(params);
+        parent_agent.set_param_generation(*generation);
+    }
+    let parent = Mutex::new(parent_agent);
+    let tree = SharedTree::new(Mcts::new(config.mcts));
+    let cache = SharedEvalCache::new(EvalCache::new(config.eval_cache_capacity));
+    let results: Mutex<Vec<DesignResult<E>>> = Mutex::new(Vec::new());
+    let stats_log: Mutex<Vec<TrainStats>> = Mutex::new(Vec::new());
+    let cycle_counter = Mutex::new(0usize);
+    // Cycles reclaimed from panicked workers, served before fresh ones.
+    let lost: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+    let panics = AtomicU64::new(0);
+    let respawns = AtomicU64::new(0);
+    let workers_lost = AtomicUsize::new(0);
+    let checkpoint_err: Mutex<Option<CheckpointError>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let mut tree = tree.clone();
+            let mut cache = cache.clone();
+            let parent = &parent;
+            let results = &results;
+            let stats_log = &stats_log;
+            let cycle_counter = &cycle_counter;
+            let lost = &lost;
+            let panics = &panics;
+            let respawns = &respawns;
+            let workers_lost = &workers_lost;
+            let checkpoint_err = &checkpoint_err;
+            let on_progress = &on_progress;
+            let proto = env.clone();
+            let config = config.clone();
+            scope.spawn(move || {
+                let claim = || -> Option<usize> {
+                    if let Some(c) = lost.lock().pop() {
+                        return Some(c);
+                    }
+                    let mut c = cycle_counter.lock();
+                    if *c >= total_cycles {
+                        return None;
+                    }
+                    let mine = *c;
+                    *c += 1;
+                    Some(mine)
+                };
+                // In-flight cycle of the current incarnation, visible to
+                // the supervisor below so a panic can requeue it.
+                let in_flight: Cell<Option<usize>> = Cell::new(None);
+                let mut incarnation = 0usize;
+                loop {
+                    // Fresh incarnation state: environment clone, local DNN
+                    // replica, respawn-salted RNG.
+                    let mut env = proto.clone();
+                    let mut local = match &config.net {
+                        Some(net_cfg) => {
+                            PolicyAgent::new(net_cfg.clone(), config.train.clone(), seed)
+                        }
+                        None => PolicyAgent::for_env(&env, config.train.clone(), seed),
+                    };
+                    let mut rng = worker_rng(seed, t, threads, incarnation);
+                    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        while let Some(cycle) = claim() {
+                            in_flight.set(Some(cycle));
+                            run_worker_cycle(
+                                &mut env,
+                                &mut local,
+                                &mut tree,
+                                &mut cache,
+                                parent,
+                                &config,
+                                &mut rng,
+                                cycle_offset + cycle,
+                                results,
+                                stats_log,
+                            );
+                            in_flight.set(None);
+                            let completed = results.lock().len();
+                            if let Err(e) = on_progress(completed, parent, results) {
+                                checkpoint_err.lock().get_or_insert(e);
+                            }
+                        }
+                    }));
+                    match outcome {
+                        Ok(()) => break,
+                        Err(_) => {
+                            panics.fetch_add(1, Ordering::Relaxed);
+                            if let Some(cycle) = in_flight.take() {
+                                lost.lock().push(cycle);
+                            }
+                            incarnation += 1;
+                            if incarnation > supervision.max_respawns_per_worker {
+                                workers_lost.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                            respawns.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let mut designs = std::mem::take(&mut *results.lock());
+    designs.sort_by_key(|d| d.cycle);
+    let train_history = std::mem::take(&mut *stats_log.lock());
+    let cache_stats = cache.stats();
+    let completed = designs.len();
+    let out = SupervisedReport {
+        report: ExploreReport {
+            cycles_run: completed,
+            designs,
+            train_history,
+            cache_stats,
+        },
+        supervision: SupervisionReport {
+            panics: panics.load(Ordering::Relaxed),
+            respawns: respawns.load(Ordering::Relaxed),
+            workers_lost: workers_lost.load(Ordering::Relaxed),
+        },
+        resumed_from: cycle_offset,
+    };
+    if let Some(e) = checkpoint_err.lock().take() {
+        return Err(ExploreError::Checkpoint(e));
+    }
+    if completed < total_cycles {
+        return Err(ExploreError::WorkersExhausted {
+            partial: Box::new(out),
+            requested: cycle_offset + total_cycles,
+        });
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::routerless::RouterlessEnv;
+    use crate::routerless::{LoopAction, RouterlessEnv};
     use rlnoc_topology::Grid;
+    use std::sync::atomic::AtomicUsize;
 
     fn quick_config() -> ExplorerConfig {
         let mut c = ExplorerConfig::fast();
@@ -289,6 +781,21 @@ mod tests {
     fn zero_threads_panics() {
         let env = RouterlessEnv::new(Grid::square(3).unwrap(), 4);
         let _ = explore_parallel(&env, &quick_config(), 0, 1, 0);
+    }
+
+    #[test]
+    fn supervised_zero_threads_is_typed_error() {
+        let env = RouterlessEnv::new(Grid::square(3).unwrap(), 4);
+        let err = explore_parallel_supervised(
+            &env,
+            &quick_config(),
+            0,
+            1,
+            0,
+            SupervisionConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExploreError::ZeroThreads));
     }
 
     fn outcomes(report: &ExploreReport<RouterlessEnv>) -> Vec<(usize, usize, bool, f64)> {
@@ -339,5 +846,210 @@ mod tests {
             outcomes(&report)
         };
         assert_eq!(run(1), run(3));
+    }
+
+    #[test]
+    fn try_into_inner_reports_outstanding_handles() {
+        let tree: SharedTree<LoopAction> = SharedTree::new(Mcts::new(Default::default()));
+        let extra = tree.clone();
+        let err = tree.try_into_inner().unwrap_err();
+        assert_eq!(err.resource, "search tree");
+        assert_eq!(err.outstanding, 1);
+        // The data survives in the remaining handle.
+        assert!(extra.try_into_inner().is_ok());
+
+        let cache = SharedEvalCache::new(EvalCache::new(16));
+        let extra = cache.clone();
+        assert!(cache.try_into_inner().is_err());
+        assert!(extra.try_into_inner().is_ok());
+    }
+
+    /// An environment whose `reset` panics while the shared fuse holds
+    /// charges — the deliberate fault injector for supervision tests.
+    #[derive(Debug, Clone)]
+    struct FaultyEnv {
+        inner: RouterlessEnv,
+        remaining_panics: Arc<AtomicUsize>,
+    }
+
+    impl FaultyEnv {
+        fn new(inner: RouterlessEnv, panics: usize) -> Self {
+            FaultyEnv {
+                inner,
+                remaining_panics: Arc::new(AtomicUsize::new(panics)),
+            }
+        }
+    }
+
+    impl Environment for FaultyEnv {
+        type Action = LoopAction;
+        fn reset(&mut self) {
+            let fired = self
+                .remaining_panics
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+                .is_ok();
+            if fired {
+                panic!("injected worker fault");
+            }
+            self.inner.reset();
+        }
+        fn state_key(&self) -> u64 {
+            self.inner.state_key()
+        }
+        fn state_tensor(&self) -> rlnoc_nn::Tensor {
+            self.inner.state_tensor()
+        }
+        fn state_side(&self) -> usize {
+            self.inner.state_side()
+        }
+        fn apply(&mut self, action: LoopAction) -> f64 {
+            self.inner.apply(action)
+        }
+        fn is_terminal(&self) -> bool {
+            self.inner.is_terminal()
+        }
+        fn final_return(&self) -> f64 {
+            self.inner.final_return()
+        }
+        fn legal_actions(&self) -> Vec<LoopAction> {
+            self.inner.legal_actions()
+        }
+        fn head_cardinality(&self) -> usize {
+            self.inner.head_cardinality()
+        }
+        fn encode_action(&self, action: LoopAction) -> ([usize; 4], bool) {
+            self.inner.encode_action(action)
+        }
+        fn decode_action(&self, coords: [usize; 4], flag: bool) -> LoopAction {
+            self.inner.decode_action(coords, flag)
+        }
+        fn is_successful(&self) -> bool {
+            self.inner.is_successful()
+        }
+        fn greedy_action(&self) -> Option<LoopAction> {
+            self.inner.greedy_action()
+        }
+        fn completion_action(&self) -> Option<LoopAction> {
+            self.inner.completion_action()
+        }
+    }
+
+    #[test]
+    fn supervision_recovers_from_worker_panic() {
+        // One charge on the fuse: exactly one worker incarnation panics in
+        // `reset`, is respawned, and the run still completes every cycle.
+        let env = FaultyEnv::new(RouterlessEnv::new(Grid::square(3).unwrap(), 4), 1);
+        let out = explore_parallel_supervised(
+            &env,
+            &quick_config(),
+            2,
+            6,
+            9,
+            SupervisionConfig::default(),
+        )
+        .expect("supervision must absorb a single panic");
+        assert_eq!(out.report.cycles_run, 6);
+        let mut cycles: Vec<_> = out.report.designs.iter().map(|d| d.cycle).collect();
+        cycles.sort_unstable();
+        assert_eq!(
+            cycles,
+            vec![0, 1, 2, 3, 4, 5],
+            "lost cycle must be requeued"
+        );
+        assert_eq!(out.supervision.panics, 1);
+        assert_eq!(out.supervision.respawns, 1);
+        assert_eq!(out.supervision.workers_lost, 0);
+    }
+
+    #[test]
+    fn supervision_returns_partial_results_when_workers_exhausted() {
+        // An inexhaustible fuse: every incarnation panics immediately, so
+        // the single worker burns its respawn budget and the run returns a
+        // typed error with (empty) partial results instead of aborting.
+        let env = FaultyEnv::new(RouterlessEnv::new(Grid::square(3).unwrap(), 4), usize::MAX);
+        let supervision = SupervisionConfig {
+            max_respawns_per_worker: 2,
+        };
+        let err =
+            explore_parallel_supervised(&env, &quick_config(), 1, 4, 9, supervision).unwrap_err();
+        match err {
+            ExploreError::WorkersExhausted { partial, requested } => {
+                assert_eq!(requested, 4);
+                assert_eq!(partial.report.cycles_run, 0);
+                assert_eq!(partial.supervision.panics, 3, "initial run + 2 respawns");
+                assert_eq!(partial.supervision.workers_lost, 1);
+            }
+            other => panic!("expected WorkersExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parallel_checkpointed_resumes_and_completes() {
+        let path =
+            std::env::temp_dir().join(format!("rlnoc_parallel_ckpt_{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let ckpt = CheckpointConfig::new(&path, 2);
+        let env = RouterlessEnv::new(Grid::square(3).unwrap(), 4);
+
+        // First "process" runs 3 of 6 cycles, then dies (we just ask for 3).
+        let first = explore_parallel_checkpointed(
+            &env,
+            &quick_config(),
+            2,
+            3,
+            17,
+            SupervisionConfig::default(),
+            &ckpt,
+        )
+        .unwrap();
+        assert_eq!(first.resumed_from, 0);
+        assert_eq!(first.report.cycles_run, 3);
+        let cp = ExploreCheckpoint::<RouterlessEnv>::load(&path).unwrap();
+        assert_eq!(cp.cycles_done, 3, "final save reflects exact completion");
+
+        // Second process resumes and finishes the remaining cycles.
+        let second = explore_parallel_checkpointed(
+            &env,
+            &quick_config(),
+            2,
+            6,
+            17,
+            SupervisionConfig::default(),
+            &ckpt,
+        )
+        .unwrap();
+        assert_eq!(second.resumed_from, 3);
+        assert_eq!(second.report.cycles_run, 3);
+        let cycles: Vec<_> = second.report.designs.iter().map(|d| d.cycle).collect();
+        assert!(
+            cycles.iter().all(|&c| (3..6).contains(&c)),
+            "resumed cycles carry global indices, got {cycles:?}"
+        );
+        let cp = ExploreCheckpoint::<RouterlessEnv>::load(&path).unwrap();
+        assert_eq!(cp.cycles_done, 6);
+        assert!(
+            cp.best.is_some(),
+            "a 3x3 run at cap 4 finds at least one successful design"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn supervised_without_faults_matches_unsupervised() {
+        // Incarnation 0 reuses the historical worker RNG stream, so a
+        // panic-free single-thread supervised run must explore identically.
+        let env = RouterlessEnv::new(Grid::square(3).unwrap(), 4);
+        let plain = explore_parallel(&env, &quick_config(), 1, 3, 13);
+        let supervised = explore_parallel_supervised(
+            &env,
+            &quick_config(),
+            1,
+            3,
+            13,
+            SupervisionConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(outcomes(&plain), outcomes(&supervised.report));
+        assert_eq!(supervised.supervision, SupervisionReport::default());
     }
 }

@@ -3,6 +3,7 @@
 use crate::env::Environment;
 use rlnoc_nn::Tensor;
 use rlnoc_topology::{Direction, Grid, RectLoop, Topology, TopologyError};
+use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
@@ -71,7 +72,7 @@ impl From<RectLoop> for LoopAction {
 /// The paper's evaluation constrains node overlapping; §6.2 points out that
 /// "other constraints, such as maximum loop length …, can also be
 /// integrated into the reward function" — this type is where they live.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DesignConstraints {
     /// Maximum loops through any node interface (wiring budget).
     pub overlap_cap: u32,
@@ -107,7 +108,7 @@ impl DesignConstraints {
 /// let r = env.apply(LoopAction::new(0, 0, 1, 1, Direction::Clockwise));
 /// assert_eq!(r, -1.0); // repetitive
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RouterlessEnv {
     grid: Grid,
     constraints: DesignConstraints,

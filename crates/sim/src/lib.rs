@@ -38,6 +38,8 @@
 #![warn(missing_debug_implementations)]
 
 mod config;
+mod error;
+mod fault;
 mod hash;
 mod mesh;
 mod packet;
@@ -50,8 +52,12 @@ pub mod sweep;
 pub mod traffic;
 
 pub use config::SimConfig;
+pub use error::SimError;
+pub use fault::{FaultEvent, FaultPlan};
 pub use mesh::MeshSim;
 pub use packet::{Flit, Packet, PacketKind};
 pub use routerless::RouterlessSim;
-pub use runner::{run_synthetic, run_with_source, Delivery, Network, PacketSource};
+pub use runner::{
+    run_synthetic, run_synthetic_checked, run_with_source, Delivery, Network, PacketSource,
+};
 pub use stats::Metrics;

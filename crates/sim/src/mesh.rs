@@ -1,11 +1,12 @@
 //! The router-based mesh fabric: input-buffered wormhole routers with XY
 //! dimension-order routing and credit-based backpressure.
 
+use crate::fault::{FaultEvent, FaultPlan};
 use crate::hash::PacketIdBuildHasher;
 use crate::packet::{Flit, Packet};
 use crate::runner::{Delivery, Network};
 use rlnoc_topology::{Grid, NodeId};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Router ports, in fixed arbitration order.
 const NORTH: usize = 0;
@@ -23,10 +24,62 @@ type Buffered = (Flit, u64);
 struct Router {
     /// Input FIFO per port.
     inputs: [VecDeque<Buffered>; PORTS],
-    /// Wormhole reservation per output port: `(input port, flits left)`.
-    out_lock: [Option<(usize, usize)>; PORTS],
+    /// Wormhole reservation per output port:
+    /// `(input port, flits left, packet id)`. The id lets fault handling
+    /// release locks held by packets lost to a dead link.
+    out_lock: [Option<(usize, usize, u64)>; PORTS],
     /// Round-robin pointer per output port.
     rr: [usize; PORTS],
+}
+
+/// Live fault-injection state for the mesh (present only on sims built
+/// with [`MeshSim::with_faults`]). All hooks are behavioural no-ops until
+/// the first event fires, preserving the zero-fault bit-identity contract.
+#[derive(Debug, Clone)]
+struct MeshFaultState {
+    plan: FaultPlan,
+    /// Index of the next unapplied event in `plan`.
+    next_event: usize,
+    /// `dead_out[node][port]`: the directed link leaving `node` through
+    /// `port` is dead.
+    dead_out: Vec<[bool; PORTS]>,
+    /// Whether any link has died yet (fast path gate).
+    any_dead: bool,
+    /// Injection-stall windows `(node, from, until)`.
+    stalls: Vec<(NodeId, u64, u64)>,
+    /// Packets that lost flits (or their only route) to a fault; their
+    /// surviving flits are purged instead of delivered.
+    condemned: HashSet<u64, PacketIdBuildHasher>,
+    /// Packets condemned by faults (each counted once).
+    dropped_packets: u64,
+    /// Individual flits destroyed or discarded because of faults.
+    dropped_flits: u64,
+}
+
+impl MeshFaultState {
+    fn is_stalled(&self, node: NodeId, cycle: u64) -> bool {
+        self.stalls
+            .iter()
+            .any(|&(n, from, until)| n == node && from <= cycle && cycle < until)
+    }
+
+    /// Condemns `id` exactly once, unwinding assembly and in-flight
+    /// accounting. Returns whether it was newly condemned.
+    fn condemn(
+        &mut self,
+        assembly: &mut HashMap<u64, usize, PacketIdBuildHasher>,
+        in_flight_packets: &mut usize,
+        id: u64,
+    ) -> bool {
+        if self.condemned.insert(id) {
+            assembly.remove(&id);
+            *in_flight_packets -= 1;
+            self.dropped_packets += 1;
+            true
+        } else {
+            false
+        }
+    }
 }
 
 impl Router {
@@ -66,6 +119,8 @@ pub struct MeshSim {
     /// Persistent per-tick scratch: input-buffer occupancy including this
     /// cycle's staged arrivals, for credit checks.
     occupancy: Vec<[usize; PORTS]>,
+    /// Fault-injection state; `None` for sims without a fault plan.
+    faults: Option<Box<MeshFaultState>>,
 }
 
 impl MeshSim {
@@ -85,7 +140,58 @@ impl MeshSim {
             staged: Vec::new(),
             local_deliveries: Vec::new(),
             occupancy: vec![[0; PORTS]; grid.len()],
+            faults: None,
         }
+    }
+
+    /// Builds a mesh that replays `plan` as it runs: dead links switch the
+    /// fabric to fault-masked XY routing (prefer the X-productive port if
+    /// its link is alive, else the Y-productive one), packets left with no
+    /// live productive port are dropped and accounted in
+    /// [`MeshSim::dropped_by_fault`], and stall windows pause a node's
+    /// injection. An empty plan behaves bit-identically to
+    /// [`MeshSim::new`].
+    ///
+    /// Fault-masked routing keeps every move productive (no livelock) but
+    /// abandons strict dimension order, so adversarial faulted workloads
+    /// can in principle form wormhole cycles; bounded-drain runs report
+    /// such stuck packets via [`Network::in_flight`] rather than hanging.
+    pub fn with_faults(
+        grid: Grid,
+        router_delay: u64,
+        buffer_capacity: usize,
+        plan: FaultPlan,
+    ) -> Self {
+        let mut sim = MeshSim::new(grid, router_delay, buffer_capacity);
+        let stalls = plan
+            .events()
+            .iter()
+            .filter_map(|e| match *e {
+                FaultEvent::StallInjection { node, from, until } => Some((node, from, until)),
+                _ => None,
+            })
+            .collect();
+        sim.faults = Some(Box::new(MeshFaultState {
+            plan,
+            next_event: 0,
+            dead_out: vec![[false; PORTS]; grid.len()],
+            any_dead: false,
+            stalls,
+            condemned: HashSet::default(),
+            dropped_packets: 0,
+            dropped_flits: 0,
+        }));
+        sim
+    }
+
+    /// Packets condemned by injected faults (each counted once).
+    pub fn dropped_by_fault(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.dropped_packets)
+    }
+
+    /// Individual flits destroyed or discarded because of injected faults.
+    pub fn dropped_fault_flits(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.dropped_flits)
     }
 
     /// The paper's baseline two-cycle router.
@@ -120,6 +226,165 @@ impl MeshSim {
         }
     }
 
+    /// Fault-masked XY output port: the X-productive port if its link is
+    /// alive, else the Y-productive one, else `None` (no live productive
+    /// move). With no dead links this is exactly [`MeshSim::route_port`].
+    fn masked_port(
+        grid: Grid,
+        dead_out: &[[bool; PORTS]],
+        at: NodeId,
+        dst: NodeId,
+    ) -> Option<usize> {
+        if at == dst {
+            return Some(LOCAL);
+        }
+        let (x, y) = grid.coord_of(at);
+        let (dx, dy) = grid.coord_of(dst);
+        let xport = if x < dx {
+            Some(EAST)
+        } else if x > dx {
+            Some(WEST)
+        } else {
+            None
+        };
+        let yport = if y < dy {
+            Some(SOUTH)
+        } else if y > dy {
+            Some(NORTH)
+        } else {
+            None
+        };
+        if let Some(p) = xport {
+            if !dead_out[at][p] {
+                return Some(p);
+            }
+        }
+        if let Some(p) = yport {
+            if !dead_out[at][p] {
+                return Some(p);
+            }
+        }
+        None
+    }
+
+    /// Routing decision honouring any dead links; `Some(port)` on healthy
+    /// fabrics for every pair (XY always routes a full mesh).
+    fn route_out(&self, at: NodeId, dst: NodeId) -> Option<usize> {
+        match self.faults.as_deref() {
+            Some(fs) if fs.any_dead => Self::masked_port(self.grid, &fs.dead_out, at, dst),
+            _ => Some(self.route_port(at, dst)),
+        }
+    }
+
+    /// Applies every scheduled fault whose activation cycle has arrived.
+    /// No-op (one branch) without a plan or between events.
+    fn apply_due_faults(&mut self, cycle: u64) {
+        let due = match &self.faults {
+            Some(f) => {
+                f.next_event < f.plan.events().len()
+                    && f.plan.events()[f.next_event].activation_cycle() <= cycle
+            }
+            None => return,
+        };
+        if !due {
+            return;
+        }
+        let mut fs = self.faults.take().expect("checked above");
+        while fs.next_event < fs.plan.events().len()
+            && fs.plan.events()[fs.next_event].activation_cycle() <= cycle
+        {
+            let event = fs.plan.events()[fs.next_event];
+            fs.next_event += 1;
+            let FaultEvent::KillMeshLink { from, to, .. } = event else {
+                // Routerless-only and pre-extracted events: nothing to do.
+                continue;
+            };
+            let (x, y) = self.grid.coord_of(from);
+            let (tx, ty) = self.grid.coord_of(to);
+            let port = match (tx as i64 - x as i64, ty as i64 - y as i64) {
+                (1, 0) => EAST,
+                (-1, 0) => WEST,
+                (0, 1) => SOUTH,
+                (0, -1) => NORTH,
+                _ => continue, // not an adjacent pair: ignore
+            };
+            if fs.dead_out[from][port] {
+                continue;
+            }
+            fs.dead_out[from][port] = true;
+            fs.any_dead = true;
+            // A wormhole mid-transfer across the dying link is severed:
+            // the packet can never complete.
+            if let Some((_, _, pid)) = self.routers[from].out_lock[port] {
+                fs.condemn(&mut self.assembly, &mut self.in_flight_packets, pid);
+                self.routers[from].out_lock[port] = None;
+            }
+        }
+        self.faults = Some(fs);
+    }
+
+    /// Removes fault casualties from the fabric: flits of condemned
+    /// packets anywhere in the input buffers, head flits left with no live
+    /// productive port (condemning their packets), and output locks held
+    /// by condemned packets. Runs only while faults are active.
+    fn purge_faulted(&mut self) {
+        let Some(mut fs) = self.faults.take() else {
+            return;
+        };
+        if fs.any_dead || !fs.condemned.is_empty() {
+            // Drop condemned flits wherever they sit.
+            if !fs.condemned.is_empty() {
+                for router in &mut self.routers {
+                    for q in &mut router.inputs {
+                        let before = q.len();
+                        q.retain(|&(f, _)| !fs.condemned.contains(&f.packet.id));
+                        fs.dropped_flits += (before - q.len()) as u64;
+                    }
+                }
+            }
+            // Heads stuck with no live productive port block their whole
+            // input queue: condemn and drop them.
+            if fs.any_dead {
+                for r in 0..self.routers.len() {
+                    for p in 0..PORTS {
+                        while let Some(&(flit, _)) = self.routers[r].inputs[p].front() {
+                            if fs.condemned.contains(&flit.packet.id) {
+                                self.routers[r].inputs[p].pop_front();
+                                fs.dropped_flits += 1;
+                                continue;
+                            }
+                            if flit.is_head()
+                                && Self::masked_port(self.grid, &fs.dead_out, r, flit.packet.dst)
+                                    .is_none()
+                            {
+                                self.routers[r].inputs[p].pop_front();
+                                fs.dropped_flits += 1;
+                                fs.condemn(
+                                    &mut self.assembly,
+                                    &mut self.in_flight_packets,
+                                    flit.packet.id,
+                                );
+                                continue;
+                            }
+                            break;
+                        }
+                    }
+                }
+            }
+            // Condemned packets release their wormhole reservations.
+            if !fs.condemned.is_empty() {
+                for router in &mut self.routers {
+                    for lock in &mut router.out_lock {
+                        if lock.is_some_and(|(_, _, pid)| fs.condemned.contains(&pid)) {
+                            *lock = None;
+                        }
+                    }
+                }
+            }
+        }
+        self.faults = Some(fs);
+    }
+
     /// The neighbouring router reached through `port`.
     fn neighbour(&self, at: NodeId, port: usize) -> NodeId {
         let (x, y) = self.grid.coord_of(at);
@@ -144,6 +409,13 @@ impl MeshSim {
     }
 
     fn deliver(&mut self, flit: Flit, cycle: u64) {
+        if let Some(fs) = self.faults.as_deref_mut() {
+            // Stragglers of a packet already lost to a fault are discarded.
+            if !fs.condemned.is_empty() && fs.condemned.contains(&flit.packet.id) {
+                fs.dropped_flits += 1;
+                return;
+            }
+        }
         let count = self.assembly.entry(flit.packet.id).or_insert(0);
         *count += 1;
         if *count == flit.packet.flits {
@@ -169,6 +441,11 @@ impl Network for MeshSim {
     }
 
     fn tick(&mut self, cycle: u64) {
+        // Phase 0: activate scheduled faults and clear their casualties
+        // (both no-ops without a plan).
+        self.apply_due_faults(cycle);
+        self.purge_faulted();
+
         // Staged transfers commit after all routers arbitrate, so a flit
         // moves at most one hop per cycle. The staging buffers are
         // persistent scratch moved out of `self` for the duration of the
@@ -189,7 +466,7 @@ impl Network for MeshSim {
             for out in 0..PORTS {
                 // Which input may use this output?
                 let chosen: Option<usize> = match self.routers[r].out_lock[out] {
-                    Some((inp, _)) => Some(inp),
+                    Some((inp, _, _)) => Some(inp),
                     None => {
                         let start = self.routers[r].rr[out];
                         (0..PORTS).map(|k| (start + k) % PORTS).find(|&inp| {
@@ -200,7 +477,7 @@ impl Network for MeshSim {
                                 Some(&(flit, entered)) => {
                                     flit.is_head()
                                         && cycle >= entered + self.router_delay
-                                        && self.route_port(r, flit.packet.dst) == out
+                                        && self.route_out(r, flit.packet.dst) == Some(out)
                                 }
                                 None => false,
                             }
@@ -237,7 +514,7 @@ impl Network for MeshSim {
                 }
                 // Maintain the wormhole lock.
                 match &mut self.routers[r].out_lock[out] {
-                    Some((_, left)) => {
+                    Some((_, left, _)) => {
                         *left -= 1;
                         if *left == 0 {
                             self.routers[r].out_lock[out] = None;
@@ -246,7 +523,8 @@ impl Network for MeshSim {
                     None => {
                         self.routers[r].rr[out] = (inp + 1) % PORTS;
                         if flit.packet.flits > 1 {
-                            self.routers[r].out_lock[out] = Some((inp, flit.packet.flits - 1));
+                            self.routers[r].out_lock[out] =
+                                Some((inp, flit.packet.flits - 1, flit.packet.id));
                         }
                     }
                 }
@@ -268,6 +546,27 @@ impl Network for MeshSim {
         // Injection: one flit per node per cycle into the local input, if
         // there is buffer space.
         for node in 0..self.grid.len() {
+            if let Some(fs) = self.faults.as_deref_mut() {
+                if !fs.stalls.is_empty() && fs.is_stalled(node, cycle) {
+                    continue;
+                }
+                // Queued packets whose route died (or that were condemned
+                // mid-injection) never enter the fabric.
+                while let Some(&p) = self.queues[node].front() {
+                    if fs.condemned.contains(&p.id) {
+                        self.queues[node].pop_front();
+                        self.inject_progress[node] = 0;
+                    } else if self.inject_progress[node] == 0
+                        && fs.any_dead
+                        && Self::masked_port(self.grid, &fs.dead_out, p.src, p.dst).is_none()
+                    {
+                        self.queues[node].pop_front();
+                        fs.condemn(&mut self.assembly, &mut self.in_flight_packets, p.id);
+                    } else {
+                        break;
+                    }
+                }
+            }
             let Some(&packet) = self.queues[node].front() else {
                 continue;
             };
@@ -405,6 +704,119 @@ mod tests {
             "accepted {} must sit below offered 0.9",
             m.accepted_throughput()
         );
+    }
+
+    #[test]
+    fn dead_link_reroutes_via_y_first() {
+        // 3x3 mesh, 0 → 2 (pure X route through node 1). Kill link 0→1
+        // before injection: masked XY must go south first and still
+        // deliver (productive moves only).
+        let g = Grid::square(3).unwrap();
+        let mut plan = FaultPlan::new();
+        plan.kill_mesh_link(0, g.node_at(0, 0), g.node_at(1, 0));
+        let mut sim = MeshSim::with_faults(g, 1, 8, plan);
+        sim.offer(packet(1, g.node_at(0, 0), g.node_at(2, 0), 2));
+        let d = run_until_delivered(&mut sim, 200);
+        // Pure-X destination with the X link dead and no Y-productive
+        // direction (dy == 0): the packet cannot leave and is dropped.
+        assert!(d.is_empty());
+        assert_eq!(sim.dropped_by_fault(), 1);
+        assert_eq!(sim.in_flight(), 0);
+
+        // A diagonal destination has a live Y fallback and must arrive.
+        let mut plan = FaultPlan::new();
+        plan.kill_mesh_link(0, g.node_at(0, 0), g.node_at(1, 0));
+        let mut sim = MeshSim::with_faults(g, 1, 8, plan);
+        sim.offer(packet(2, g.node_at(0, 0), g.node_at(2, 2), 2));
+        let d = run_until_delivered(&mut sim, 200);
+        assert_eq!(d.len(), 1, "Y-first detour must deliver");
+        assert_eq!(sim.dropped_by_fault(), 0);
+    }
+
+    #[test]
+    fn mid_wormhole_link_kill_severs_packet() {
+        // A long packet streams 0→2 on a 3x1-ish path; kill the link it is
+        // crossing mid-stream. The packet must be condemned exactly once
+        // and the fabric must drain (no stuck lock).
+        let g = Grid::square(3).unwrap();
+        let from = g.node_at(1, 0);
+        let to = g.node_at(2, 0);
+        let mut plan = FaultPlan::new();
+        plan.kill_mesh_link(6, from, to);
+        let mut sim = MeshSim::with_faults(g, 1, 8, plan);
+        sim.offer(packet(1, g.node_at(0, 0), g.node_at(2, 0), 8));
+        for cycle in 0..100 {
+            sim.tick(cycle);
+            sim.take_deliveries();
+        }
+        assert_eq!(sim.dropped_by_fault(), 1);
+        assert_eq!(sim.in_flight(), 0, "severed wormhole must not wedge");
+        assert!(sim.dropped_fault_flits() > 0);
+        // The fabric still works for an unaffected pair.
+        sim.offer(Packet {
+            created: 100,
+            ..packet(2, g.node_at(0, 1), g.node_at(2, 2), 2)
+        });
+        let mut arrived = false;
+        for cycle in 100..200 {
+            sim.tick(cycle);
+            if !sim.take_deliveries().is_empty() {
+                arrived = true;
+                break;
+            }
+        }
+        assert!(arrived);
+    }
+
+    #[test]
+    fn mesh_stall_window_delays_injection() {
+        let g = Grid::square(3).unwrap();
+        let src = g.node_at(0, 0);
+        let mut plan = FaultPlan::new();
+        plan.stall_injection(src, 0, 10);
+        let mut sim = MeshSim::with_faults(g, 1, 8, plan);
+        sim.offer(packet(1, src, g.node_at(1, 0), 1));
+        let d = run_until_delivered(&mut sim, 100);
+        assert_eq!(d.len(), 1);
+        assert!(
+            d[0].delivered >= 10,
+            "stalled source delivered at {}",
+            d[0].delivered
+        );
+        // The same packet without a stall is much earlier.
+        let mut free = MeshSim::new(g, 1, 8);
+        free.offer(packet(1, src, g.node_at(1, 0), 1));
+        let d_free = run_until_delivered(&mut free, 100);
+        assert!(d_free[0].delivered < 10);
+    }
+
+    #[test]
+    fn mesh_fault_conservation_under_load() {
+        // Kill two links mid-run under uniform traffic; every offered
+        // packet must be delivered, in flight, or dropped_by_fault.
+        let g = Grid::square(4).unwrap();
+        let mut plan = FaultPlan::new();
+        plan.kill_mesh_link(300, g.node_at(1, 1), g.node_at(2, 1));
+        plan.kill_mesh_link(450, g.node_at(2, 2), g.node_at(2, 1));
+        let mut sim = MeshSim::with_faults(g, 1, 8, plan);
+        let cfg = SimConfig::mesh();
+        let mut gen = crate::traffic::TrafficGen::new(g, Pattern::UniformRandom, 0.2, 11);
+        let mut offered = 0usize;
+        let mut delivered = 0usize;
+        for cycle in 0..900 {
+            for p in crate::runner::PacketSource::generate(&mut gen, cycle, &cfg, false) {
+                offered += 1;
+                sim.offer(p);
+            }
+            sim.tick(cycle);
+            delivered += sim.take_deliveries().len();
+            assert_eq!(
+                offered,
+                delivered + sim.in_flight() + sim.dropped_by_fault() as usize,
+                "conservation at cycle {cycle}"
+            );
+        }
+        assert!(delivered > 0);
     }
 
     #[test]

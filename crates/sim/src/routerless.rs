@@ -11,11 +11,12 @@
 //! the ejection pass visits only the slots due this cycle (O(ejections),
 //! not O(slots)), and a flit passing through costs nothing at all.
 
+use crate::fault::{FaultEvent, FaultPlan};
 use crate::hash::PacketIdBuildHasher;
 use crate::packet::{Flit, Packet};
 use crate::runner::{Delivery, Network};
-use rlnoc_topology::{Grid, NodeId, RoutingTable, Topology};
-use std::collections::{HashMap, VecDeque};
+use rlnoc_topology::{FaultSet, Grid, NodeId, RoutingTable, Topology};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Sentinel for an unoccupied slot in [`Lane::dst`].
 const EMPTY: u32 = u32::MAX;
@@ -66,6 +67,61 @@ struct ActiveInjection {
     hops: u64,
 }
 
+/// Live fault-injection state (present only on sims built with
+/// [`RouterlessSim::with_faults`]). Every hook it drives is a behavioural
+/// no-op until the first structural event fires, preserving the zero-fault
+/// bit-identity contract.
+#[derive(Debug, Clone)]
+struct FaultState {
+    /// The topology, retained so the routing table can be re-derived over
+    /// the survivors after each structural fault.
+    topo: Topology,
+    plan: FaultPlan,
+    /// Index of the next unapplied event in `plan`.
+    next_event: usize,
+    /// Faults applied so far, in topology-layer form.
+    applied: FaultSet,
+    /// Whether each lane has at least one cut link (a deflection on such a
+    /// lane would circle through the cut, so it drops instead).
+    lane_cut: Vec<bool>,
+    /// Injection-stall windows `(node, from, until)`.
+    stalls: Vec<(NodeId, u64, u64)>,
+    /// Packets that lost at least one flit to a fault; their surviving
+    /// flits are discarded at ejection instead of assembled.
+    condemned: HashSet<u64, PacketIdBuildHasher>,
+    /// Packets condemned by faults (each counted once).
+    dropped_packets: u64,
+    /// Individual flits destroyed or discarded because of faults.
+    dropped_flits: u64,
+}
+
+impl FaultState {
+    fn is_stalled(&self, node: NodeId, cycle: u64) -> bool {
+        self.stalls
+            .iter()
+            .any(|&(n, from, until)| n == node && from <= cycle && cycle < until)
+    }
+}
+
+/// Marks `id` as lost to a fault, unwinding its assembly progress and the
+/// in-flight count exactly once. Returns whether the packet was newly
+/// condemned (callers then abort any matching active injection).
+fn condemn(
+    fs: &mut FaultState,
+    assembly: &mut HashMap<u64, (usize, u64), PacketIdBuildHasher>,
+    in_flight_packets: &mut usize,
+    id: u64,
+) -> bool {
+    if fs.condemned.insert(id) {
+        assembly.remove(&id);
+        *in_flight_packets -= 1;
+        fs.dropped_packets += 1;
+        true
+    } else {
+        false
+    }
+}
+
 /// Cycle-accurate simulator for a routerless NoC [`Topology`].
 ///
 /// Model (paper §2.1/§5): every loop is an independent ring of links; a
@@ -96,6 +152,8 @@ pub struct RouterlessSim {
     /// Per-node ejections this cycle (persistent scratch, zeroed each
     /// tick only while an ejection limit is set).
     ejected_at: Vec<usize>,
+    /// Fault-injection state; `None` for sims without a fault plan.
+    faults: Option<Box<FaultState>>,
 }
 
 impl RouterlessSim {
@@ -157,7 +215,217 @@ impl RouterlessSim {
             ejection_limit: None,
             deflections: 0,
             ejected_at: vec![0; grid.len()],
+            faults: None,
         }
+    }
+
+    /// Builds a simulator that replays `plan` as it runs: structural
+    /// events (loop/link kills) drop the affected in-flight flits, account
+    /// the lost packets in [`RouterlessSim::dropped_by_fault`], and
+    /// re-derive the routing table over the surviving loops
+    /// ([`RoutingTable::rebuild_excluding`]); stall windows pause a node's
+    /// injection. An empty plan behaves bit-identically to
+    /// [`RouterlessSim::new`].
+    pub fn with_faults(topo: &Topology, plan: FaultPlan) -> Self {
+        let mut sim = RouterlessSim::new(topo);
+        let stalls = plan
+            .events()
+            .iter()
+            .filter_map(|e| match *e {
+                FaultEvent::StallInjection { node, from, until } => Some((node, from, until)),
+                _ => None,
+            })
+            .collect();
+        sim.faults = Some(Box::new(FaultState {
+            topo: topo.clone(),
+            plan,
+            next_event: 0,
+            applied: FaultSet::new(),
+            lane_cut: vec![false; sim.lanes.len()],
+            stalls,
+            condemned: HashSet::default(),
+            dropped_packets: 0,
+            dropped_flits: 0,
+        }));
+        sim
+    }
+
+    /// Applies every scheduled fault whose activation cycle has arrived,
+    /// then rebuilds the routing table if the wiring changed. No-op (one
+    /// branch) without a plan or between events.
+    fn apply_due_faults(&mut self, cycle: u64) {
+        let due = match &self.faults {
+            Some(f) => {
+                f.next_event < f.plan.events().len()
+                    && f.plan.events()[f.next_event].activation_cycle() <= cycle
+            }
+            None => return,
+        };
+        if !due {
+            return;
+        }
+        let mut fs = self.faults.take().expect("checked above");
+        let mut structural = false;
+        while fs.next_event < fs.plan.events().len()
+            && fs.plan.events()[fs.next_event].activation_cycle() <= cycle
+        {
+            let event = fs.plan.events()[fs.next_event];
+            fs.next_event += 1;
+            match event {
+                FaultEvent::KillLoop { loop_index, .. } => {
+                    if loop_index >= self.lanes.len() || fs.applied.loop_failed(loop_index) {
+                        continue;
+                    }
+                    fs.applied.fail_loop(loop_index);
+                    structural = true;
+                    // Drain the lane: every on-board flit is destroyed and
+                    // its packet condemned.
+                    let lane = &mut self.lanes[loop_index];
+                    for s in 0..lane.slots.len() {
+                        if lane.dst[s] == EMPTY {
+                            continue;
+                        }
+                        lane.dst[s] = EMPTY;
+                        let flit = lane.slots[s].take().expect("slot occupied per dst key");
+                        fs.dropped_flits += 1;
+                        condemn(
+                            &mut fs,
+                            &mut self.assembly,
+                            &mut self.in_flight_packets,
+                            flit.packet.id,
+                        );
+                    }
+                    for bucket in &mut lane.calendar {
+                        bucket.clear();
+                    }
+                    // Abort injections mid-flight onto the dead lane.
+                    for node in 0..self.active.len() {
+                        if let Some(act) = self.active[node] {
+                            if act.lane == loop_index {
+                                condemn(
+                                    &mut fs,
+                                    &mut self.assembly,
+                                    &mut self.in_flight_packets,
+                                    act.packet.id,
+                                );
+                                self.active[node] = None;
+                            }
+                        }
+                    }
+                }
+                FaultEvent::KillLink {
+                    loop_index, from, ..
+                } => {
+                    if loop_index >= self.lanes.len()
+                        || fs.applied.loop_failed(loop_index)
+                        || fs.applied.link_failed(loop_index, from)
+                    {
+                        continue;
+                    }
+                    let lane = &mut self.lanes[loop_index];
+                    let Some(pf) = lane.pos.get(from).copied().flatten() else {
+                        continue; // node not on this loop: nothing to cut
+                    };
+                    fs.applied.fail_link(loop_index, from);
+                    fs.lane_cut[loop_index] = true;
+                    structural = true;
+                    let len = lane.nodes.len();
+                    // Destroy flits whose remaining arc crosses the cut; a
+                    // deflected flit (remaining hops 0) needs a full circle
+                    // and always crosses.
+                    for s in 0..len {
+                        if lane.dst[s] == EMPTY {
+                            continue;
+                        }
+                        let p = (s + lane.rot) % len;
+                        let flit = lane.slots[s].expect("slot occupied per dst key");
+                        let pd = lane.pos[flit.packet.dst].expect("dst on lane");
+                        let mut rem = (pd + len - p) % len;
+                        if rem == 0 {
+                            rem = len;
+                        }
+                        if (pf + len - p) % len < rem {
+                            lane.dst[s] = EMPTY;
+                            lane.slots[s] = None;
+                            fs.dropped_flits += 1;
+                            condemn(
+                                &mut fs,
+                                &mut self.assembly,
+                                &mut self.in_flight_packets,
+                                flit.packet.id,
+                            );
+                        }
+                    }
+                    // Rebuild the calendar from the survivors (their
+                    // arrival rotations are unchanged; dropped entries
+                    // simply vanish).
+                    for bucket in &mut lane.calendar {
+                        bucket.clear();
+                    }
+                    for s in 0..len {
+                        if lane.dst[s] == EMPTY {
+                            continue;
+                        }
+                        let p = (s + lane.rot) % len;
+                        let flit = lane.slots[s].as_ref().expect("slot occupied per dst key");
+                        let pd = lane.pos[flit.packet.dst].expect("dst on lane");
+                        let mut rem = (pd + len - p) % len;
+                        if rem == 0 {
+                            rem = len;
+                        }
+                        let bucket = (lane.rot + rem) % len;
+                        lane.calendar[bucket].push(s);
+                    }
+                    // Abort active injections whose source→destination arc
+                    // spans the cut: their remaining flits could never get
+                    // through. (Arcs that avoid the cut keep injecting.)
+                    for node in 0..self.active.len() {
+                        if let Some(act) = self.active[node] {
+                            if act.lane != loop_index {
+                                continue;
+                            }
+                            let ps = lane.pos[node].expect("source on lane");
+                            let pd = lane.pos[act.packet.dst].expect("dst on lane");
+                            let arc = (pd + len - ps) % len;
+                            if (pf + len - ps) % len < arc {
+                                condemn(
+                                    &mut fs,
+                                    &mut self.assembly,
+                                    &mut self.in_flight_packets,
+                                    act.packet.id,
+                                );
+                                self.active[node] = None;
+                            }
+                        }
+                    }
+                }
+                // Mesh-only and pre-extracted events: nothing structural.
+                FaultEvent::KillMeshLink { .. } | FaultEvent::StallInjection { .. } => {}
+            }
+        }
+        if structural {
+            self.routing = RoutingTable::rebuild_excluding(&fs.topo, &fs.applied).0;
+        }
+        self.faults = Some(fs);
+    }
+
+    /// Packets condemned by injected faults (each counted once, in the
+    /// cycle the fault destroyed their first flit).
+    pub fn dropped_by_fault(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.dropped_packets)
+    }
+
+    /// Individual flits destroyed or discarded because of injected faults.
+    pub fn dropped_fault_flits(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.dropped_flits)
+    }
+
+    /// The faults applied so far (empty without a plan).
+    pub fn applied_faults(&self) -> FaultSet {
+        self.faults
+            .as_ref()
+            .map(|f| f.applied.clone())
+            .unwrap_or_default()
     }
 
     /// Caps how many flits each node may eject per cycle across all its
@@ -192,6 +460,10 @@ impl Network for RouterlessSim {
     }
 
     fn tick(&mut self, cycle: u64) {
+        // Phase 0: activate any faults scheduled for this cycle (no-op
+        // without a plan).
+        self.apply_due_faults(cycle);
+
         // Phase 1: advance every lane one hop (a frame rotation — flits
         // stay in their physical slots), ejecting flits that arrive at
         // their destination (subject to the per-node ejection limit).
@@ -199,7 +471,7 @@ impl Network for RouterlessSim {
         if limit.is_some() {
             self.ejected_at.fill(0);
         }
-        for lane in &mut self.lanes {
+        for (li, lane) in self.lanes.iter_mut().enumerate() {
             let len = lane.nodes.len();
             if len == 0 {
                 continue;
@@ -225,7 +497,28 @@ impl Network for RouterlessSim {
                     if self.ejected_at[node] >= lim {
                         // Ejection port busy: deflect around the loop. The
                         // kept entry recurs when this bucket next comes
-                        // up — one full circle later.
+                        // up — one full circle later... unless the loop
+                        // has a cut link, in which case the full circle
+                        // crosses it and the flit is lost to the fault.
+                        if let Some(fs) = self.faults.as_deref_mut() {
+                            if fs.lane_cut[li] {
+                                lane.calendar[rot].swap_remove(i);
+                                lane.dst[s] = EMPTY;
+                                let flit = lane.slots[s].take().expect("slot occupied per dst key");
+                                fs.dropped_flits += 1;
+                                if condemn(
+                                    fs,
+                                    &mut self.assembly,
+                                    &mut self.in_flight_packets,
+                                    flit.packet.id,
+                                ) && self.active[flit.packet.src]
+                                    .is_some_and(|a| a.packet.id == flit.packet.id)
+                                {
+                                    self.active[flit.packet.src] = None;
+                                }
+                                continue;
+                            }
+                        }
                         self.deflections += 1;
                         i += 1;
                         continue;
@@ -236,6 +529,14 @@ impl Network for RouterlessSim {
                 // Eject: deliver into the assembly buffer.
                 lane.dst[s] = EMPTY;
                 let flit = lane.slots[s].take().expect("slot occupied per dst key");
+                if let Some(fs) = self.faults.as_deref_mut() {
+                    // Surviving flits of a packet that already lost one to
+                    // a fault are discarded, not assembled.
+                    if !fs.condemned.is_empty() && fs.condemned.contains(&flit.packet.id) {
+                        fs.dropped_flits += 1;
+                        continue;
+                    }
+                }
                 let entry = self.assembly.entry(flit.packet.id).or_insert((0, 0));
                 entry.0 += 1;
                 if entry.0 == flit.packet.flits {
@@ -253,6 +554,13 @@ impl Network for RouterlessSim {
         // Phase 2: injection — one flit per node, only into an empty slot,
         // so passing traffic always has priority.
         for node in 0..self.grid.len() {
+            if self
+                .faults
+                .as_deref()
+                .is_some_and(|fs| !fs.stalls.is_empty() && fs.is_stalled(node, cycle))
+            {
+                continue;
+            }
             if self.active[node].is_none() {
                 // Start the next queued packet, if routable.
                 while let Some(p) = self.queues[node].pop_front() {
@@ -539,6 +847,157 @@ mod tests {
         };
         let m = run_synthetic(&mut sim, Pattern::UniformRandom, 0.05, &cfg, 5);
         assert!(m.delivery_ratio() > 0.99);
+        assert_eq!(sim.in_flight(), 0);
+    }
+
+    #[test]
+    fn kill_loop_drops_in_flight_and_reroutes_survivors() {
+        // Two opposite rings on 2x2: kill the CW ring while a packet rides
+        // it; the packet is dropped and accounted, and later traffic takes
+        // the CCW ring.
+        let g = Grid::square(2).unwrap();
+        let topo = Topology::from_loops(
+            g,
+            [
+                RectLoop::new(0, 0, 1, 1, Direction::Clockwise).unwrap(),
+                RectLoop::new(0, 0, 1, 1, Direction::Counterclockwise).unwrap(),
+            ],
+        )
+        .unwrap();
+        let mut plan = FaultPlan::new();
+        plan.kill_loop(2, 0);
+        let mut sim = RouterlessSim::with_faults(&topo, plan);
+        // 0 → 3 is 2 hops CW (loop 0) vs 2 hops CCW... CW order 0,1,3,2:
+        // 0→3 is 2 hops; CCW order 0,2,3,1: 0→3 is 2 hops. Tie breaks to
+        // loop 0, which dies at cycle 2 — mid-journey for a cycle-0 inject.
+        sim.offer(single_packet(0, 3, 1));
+        for cycle in 0..10 {
+            sim.tick(cycle);
+        }
+        assert!(sim.take_deliveries().is_empty(), "rider must be dropped");
+        assert_eq!(sim.dropped_by_fault(), 1);
+        assert_eq!(sim.in_flight(), 0);
+        // A fresh packet after the kill must still arrive, via loop 1.
+        sim.offer(Packet {
+            id: 7,
+            created: 10,
+            ..single_packet(0, 3, 1)
+        });
+        let mut arrived = false;
+        for cycle in 10..30 {
+            sim.tick(cycle);
+            if sim.take_deliveries().pop().is_some() {
+                arrived = true;
+                break;
+            }
+        }
+        assert!(arrived, "survivor loop must carry post-fault traffic");
+        assert!(sim.applied_faults().loop_failed(0));
+    }
+
+    #[test]
+    fn kill_link_drops_only_crossing_flits() {
+        // Single CW ring on 2x2, order 0,1,3,2. Packet A: 0→1 (1 hop).
+        // Packet B: 0→2 (3 hops, crosses the link leaving node 1). Cut
+        // that link at cycle 1: A (already at node 1's slot... actually
+        // ejected at cycle 1) survives; B is dropped when the cut lands.
+        let topo = ring_2x2();
+        let mut plan = FaultPlan::new();
+        plan.kill_link(2, 0, 1);
+        let mut sim = RouterlessSim::with_faults(&topo, plan);
+        sim.offer(Packet {
+            id: 1,
+            ..single_packet(0, 1, 1)
+        });
+        sim.offer(Packet {
+            id: 2,
+            ..single_packet(2, 0, 1) // 0 is 2 hops from 2 (order 0,1,3,2): 2→0 crosses? positions: 2 is at 3, 0 at 0 → 1 hop.
+        });
+        let mut delivered = Vec::new();
+        for cycle in 0..12 {
+            sim.tick(cycle);
+            delivered.extend(sim.take_deliveries());
+        }
+        // Packet 1 (0→1, 1 hop, ejected cycle 1 before the cut applies at
+        // cycle 2) and packet 2 (2→0, 1 hop, never crossing node 1's link)
+        // both arrive.
+        assert_eq!(delivered.len(), 2);
+        assert_eq!(sim.dropped_by_fault(), 0);
+        // After the cut, 0→2 (whose arc spans node 1's outgoing link) is
+        // unroutable — counted, not hung.
+        sim.offer(Packet {
+            id: 3,
+            created: 12,
+            ..single_packet(0, 2, 1)
+        });
+        sim.tick(12);
+        assert_eq!(sim.unroutable(), 1);
+        assert_eq!(sim.in_flight(), 0);
+    }
+
+    #[test]
+    fn kill_link_severs_in_flight_crossers() {
+        // Packet 0→2 (3 hops on the CW 2x2 ring, passing node 1) injected
+        // at cycle 0; the link leaving node 1 dies at cycle 1, while the
+        // flit still has the cut ahead of it.
+        let topo = ring_2x2();
+        let mut plan = FaultPlan::new();
+        plan.kill_link(1, 0, 1);
+        let mut sim = RouterlessSim::with_faults(&topo, plan);
+        sim.offer(single_packet(0, 2, 1));
+        for cycle in 0..10 {
+            sim.tick(cycle);
+        }
+        assert!(sim.take_deliveries().is_empty());
+        assert_eq!(sim.dropped_by_fault(), 1);
+        assert_eq!(sim.dropped_fault_flits(), 1);
+        assert_eq!(sim.in_flight(), 0);
+    }
+
+    #[test]
+    fn stall_window_pauses_injection_then_resumes() {
+        let topo = ring_2x2();
+        let mut plan = FaultPlan::new();
+        plan.stall_injection(0, 0, 5);
+        let mut sim = RouterlessSim::with_faults(&topo, plan);
+        sim.offer(single_packet(0, 3, 1)); // 2 hops once injected
+        let mut delivered = None;
+        for cycle in 0..20 {
+            sim.tick(cycle);
+            if let Some(d) = sim.take_deliveries().pop() {
+                delivered = Some(d);
+                break;
+            }
+        }
+        let d = delivered.expect("stall is transient; packet must arrive");
+        // Without the stall it lands at cycle 2; stalled through cycle 4,
+        // it injects at 5 and lands at 7.
+        assert_eq!(d.delivered, 7);
+        assert_eq!(sim.dropped_by_fault(), 0);
+    }
+
+    #[test]
+    fn multi_flit_packet_condemned_once() {
+        // A 4-flit packet 0→2 mid-injection when its loop dies: exactly
+        // one packet drop, conservation intact.
+        let topo = ring_2x2();
+        let mut plan = FaultPlan::new();
+        plan.kill_loop(2, 0);
+        let mut sim = RouterlessSim::with_faults(&topo, plan);
+        sim.offer(single_packet(0, 2, 4));
+        for cycle in 0..20 {
+            sim.tick(cycle);
+            let offered = 1usize;
+            assert_eq!(
+                offered,
+                sim.take_deliveries().len()
+                    + sim.in_flight()
+                    + sim.unroutable() as usize
+                    + sim.dropped_by_fault() as usize,
+                "conservation at cycle {cycle}"
+            );
+        }
+        assert_eq!(sim.dropped_by_fault(), 1);
         assert_eq!(sim.in_flight(), 0);
     }
 

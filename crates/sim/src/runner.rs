@@ -159,3 +159,19 @@ pub fn run_synthetic<N: Network>(
     let mut gen = TrafficGen::new(*net.grid(), pattern, rate, seed);
     run_with_source(net, &mut gen, cfg)
 }
+
+/// [`run_synthetic`] with inputs validated at the boundary: the rate must
+/// lie in `(0, 1]` and `cfg` must pass [`SimConfig::validate`], returning
+/// a typed [`SimError`](crate::SimError) instead of misbehaving deep in
+/// the tick loop.
+pub fn run_synthetic_checked<N: Network>(
+    net: &mut N,
+    pattern: Pattern,
+    rate: f64,
+    cfg: &SimConfig,
+    seed: u64,
+) -> Result<Metrics, crate::SimError> {
+    crate::error::validate_rate(rate)?;
+    cfg.validate()?;
+    Ok(run_synthetic(net, pattern, rate, cfg, seed))
+}

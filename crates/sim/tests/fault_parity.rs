@@ -1,0 +1,157 @@
+//! The two headline fault-injection contracts:
+//!
+//! 1. **Zero-fault bit-identity** — a sim built `with_faults` on an empty
+//!    [`FaultPlan`] must produce `Metrics` bit-identical to the plain
+//!    construction on both fabrics (the fault hooks are behavioural
+//!    no-ops until an event fires).
+//! 2. **Faulted sweep determinism** — a sweep whose factory builds
+//!    faulted sims is bit-identical between the serial reference and the
+//!    parallel engine at 1, 2, and 8 threads.
+
+use rlnoc_baselines::rec_topology;
+use rlnoc_sim::sweep::{latency_sweep, SweepEngine, SweepParams};
+use rlnoc_sim::traffic::Pattern;
+use rlnoc_sim::{run_synthetic, FaultPlan, MeshSim, RouterlessSim, SimConfig};
+use rlnoc_topology::Grid;
+
+fn quick_cfg(data_flits: usize) -> SimConfig {
+    SimConfig {
+        warmup: 150,
+        measure: 900,
+        drain: 700,
+        data_flits,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn zero_fault_plan_is_bit_identical_on_routerless() {
+    let topo = rec_topology(Grid::square(4).unwrap()).unwrap();
+    let cfg = quick_cfg(5);
+    for (pattern, rate, seed) in [
+        (Pattern::UniformRandom, 0.05, 3u64),
+        (Pattern::Tornado, 0.15, 9),
+        (Pattern::Transpose, 0.30, 42),
+    ] {
+        let plain = run_synthetic(&mut RouterlessSim::new(&topo), pattern, rate, &cfg, seed);
+        let faulted = run_synthetic(
+            &mut RouterlessSim::with_faults(&topo, FaultPlan::new()),
+            pattern,
+            rate,
+            &cfg,
+            seed,
+        );
+        assert_eq!(
+            plain, faulted,
+            "empty fault plan diverged ({pattern:?} @ {rate})"
+        );
+    }
+}
+
+#[test]
+fn zero_fault_plan_is_bit_identical_on_mesh() {
+    let g = Grid::square(4).unwrap();
+    let cfg = quick_cfg(3);
+    for (delay, rate, seed) in [(0u64, 0.05, 1u64), (1, 0.20, 7), (2, 0.35, 13)] {
+        let plain = run_synthetic(
+            &mut MeshSim::new(g, delay, 8),
+            Pattern::UniformRandom,
+            rate,
+            &cfg,
+            seed,
+        );
+        let faulted = run_synthetic(
+            &mut MeshSim::with_faults(g, delay, 8, FaultPlan::new()),
+            Pattern::UniformRandom,
+            rate,
+            &cfg,
+            seed,
+        );
+        assert_eq!(plain, faulted, "empty fault plan diverged (delay {delay})");
+    }
+}
+
+/// The CI `fault-smoke` determinism check: a *faulted* routerless sweep
+/// (two loops killed mid-warm-up) is bit-identical between the serial
+/// reference and the parallel engine at 1, 2, and 8 worker threads.
+#[test]
+fn faulted_sweep_is_deterministic_across_thread_counts() {
+    let topo = rec_topology(Grid::square(4).unwrap()).unwrap();
+    let num_loops = topo.loops().len();
+    let plan = FaultPlan::random_loop_kills(50, 2, num_loops, 77);
+    let cfg = SimConfig {
+        warmup: 100,
+        measure: 500,
+        drain: 400,
+        data_flits: 5,
+        ..SimConfig::default()
+    };
+    let params = SweepParams {
+        start: 0.05,
+        step: 0.1,
+        max_rate: 0.65,
+        latency_factor: 4.0,
+        seed: 21,
+    };
+    let factory = || RouterlessSim::with_faults(&topo, plan.clone());
+    let serial = latency_sweep(
+        factory,
+        Pattern::UniformRandom,
+        &cfg,
+        params.start,
+        params.step,
+        params.max_rate,
+        params.latency_factor,
+        params.seed,
+    );
+    assert!(!serial.points.is_empty());
+    for threads in [1, 2, 8] {
+        let parallel =
+            SweepEngine::new(threads).sweep(factory, Pattern::UniformRandom, &cfg, params);
+        assert_eq!(
+            parallel, serial,
+            "faulted sweep diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn faulted_mesh_sweep_is_deterministic_across_thread_counts() {
+    let g = Grid::square(4).unwrap();
+    let mut plan = FaultPlan::new();
+    plan.kill_mesh_link(60, g.node_at(1, 1), g.node_at(2, 1));
+    plan.stall_injection(g.node_at(0, 0), 100, 160);
+    let cfg = SimConfig {
+        warmup: 100,
+        measure: 500,
+        drain: 400,
+        data_flits: 3,
+        ..SimConfig::default()
+    };
+    let params = SweepParams {
+        start: 0.05,
+        step: 0.15,
+        max_rate: 0.5,
+        latency_factor: 4.0,
+        seed: 5,
+    };
+    let factory = || MeshSim::with_faults(g, 1, 8, plan.clone());
+    let serial = latency_sweep(
+        factory,
+        Pattern::UniformRandom,
+        &cfg,
+        params.start,
+        params.step,
+        params.max_rate,
+        params.latency_factor,
+        params.seed,
+    );
+    for threads in [1, 2, 8] {
+        let parallel =
+            SweepEngine::new(threads).sweep(factory, Pattern::UniformRandom, &cfg, params);
+        assert_eq!(
+            parallel, serial,
+            "faulted mesh sweep diverged at {threads} threads"
+        );
+    }
+}

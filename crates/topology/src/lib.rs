@@ -17,6 +17,9 @@
 //!   to pick the loop carrying a packet to each destination,
 //! - [`diversity`]: path-diversity and link-failure reliability metrics
 //!   (paper §6.7),
+//! - [`FaultSet`] + [`RoutingTable::rebuild_excluding`]: degraded-mode
+//!   routing over surviving loops after loop/link failures, reported via
+//!   [`ReachabilityReport`],
 //! - [`mesh`] and [`reference`](crate::reference): router-based reference
 //!   fabrics (mesh, single ring, hierarchical ring) used as comparison
 //!   baselines.
@@ -45,6 +48,7 @@
 #![warn(missing_debug_implementations)]
 
 mod error;
+mod fault;
 mod grid;
 mod hops;
 mod rect_loop;
@@ -57,6 +61,7 @@ pub mod reference;
 pub mod render;
 
 pub use error::TopologyError;
+pub use fault::{FaultSet, ReachabilityReport};
 pub use grid::{Coord, Grid, NodeId};
 pub use hops::HopMatrix;
 pub use rect_loop::{Direction, RectLoop};

@@ -1,4 +1,4 @@
-use crate::{NodeId, Topology};
+use crate::{FaultSet, NodeId, ReachabilityReport, Topology};
 use serde::{Deserialize, Serialize};
 
 /// How the per-source lookup table picks among candidate loops.
@@ -71,19 +71,94 @@ impl RoutingTable {
 
     /// Precomputes routes under the given [`RoutingPolicy`].
     pub fn build_with(topo: &Topology, policy: RoutingPolicy) -> Self {
+        RoutingTable::build_filtered(topo, policy, None)
+    }
+
+    /// Re-derives the table over surviving loops only, excluding every
+    /// route that uses a failed loop or crosses a failed directed link,
+    /// with the default [`RoutingPolicy::Shortest`] policy.
+    ///
+    /// Returns the degraded table together with a [`ReachabilityReport`]
+    /// summarising what connectivity remains, so callers can decide how
+    /// to degrade (reroute, drop traffic, alarm) instead of panicking on
+    /// partial connectivity. With an empty [`FaultSet`] the returned
+    /// table is identical to [`RoutingTable::build`].
+    pub fn rebuild_excluding(topo: &Topology, faults: &FaultSet) -> (Self, ReachabilityReport) {
+        RoutingTable::rebuild_excluding_with(topo, faults, RoutingPolicy::Shortest)
+    }
+
+    /// [`RoutingTable::rebuild_excluding`] under an explicit policy.
+    pub fn rebuild_excluding_with(
+        topo: &Topology,
+        faults: &FaultSet,
+        policy: RoutingPolicy,
+    ) -> (Self, ReachabilityReport) {
+        let table = RoutingTable::build_filtered(topo, policy, Some(faults));
+        let report = table.reachability_report();
+        (table, report)
+    }
+
+    /// Summarises this table's coverage as a [`ReachabilityReport`].
+    pub fn reachability_report(&self) -> ReachabilityReport {
+        let n = self.n;
+        let total_pairs = n * n - n;
+        let mut reachable_pairs = 0;
+        let mut disconnected = Vec::new();
+        for src in 0..n {
+            for dst in 0..n {
+                if src == dst {
+                    continue;
+                }
+                if self.entries[src * n + dst].is_some() {
+                    reachable_pairs += 1;
+                } else {
+                    disconnected.push((src, dst));
+                }
+            }
+        }
+        ReachabilityReport {
+            total_pairs,
+            reachable_pairs,
+            average_hops: self.average_hops(),
+            disconnected,
+        }
+    }
+
+    /// Shared construction path: enumerate candidate routes per ordered
+    /// pair (optionally dropping those a `FaultSet` invalidates), then
+    /// select per the policy.
+    fn build_filtered(topo: &Topology, policy: RoutingPolicy, faults: Option<&FaultSet>) -> Self {
         let grid = topo.grid();
         let n = grid.len();
         // Candidate routes per ordered pair (loop index, hops).
         let mut candidates: Vec<Vec<Route>> = vec![Vec::new(); n * n];
         for (i, ring) in topo.loops().iter().enumerate() {
+            if faults.is_some_and(|f| f.loop_failed(i)) {
+                continue;
+            }
             let nodes = ring.perimeter_nodes(grid);
             let len = nodes.len();
+            // Positions (in loop order) of nodes whose outgoing link on
+            // this loop is cut. A route from position pi spanning `hops`
+            // links is dead iff some cut sits within [pi, pi + hops).
+            let cut_positions: Vec<usize> = match faults {
+                Some(f) if f.loop_has_link_faults(i) => nodes
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &node)| f.link_failed(i, node))
+                    .map(|(p, _)| p)
+                    .collect(),
+                _ => Vec::new(),
+            };
             for (pi, &a) in nodes.iter().enumerate() {
                 for (pj, &b) in nodes.iter().enumerate() {
                     if a == b {
                         continue;
                     }
                     let hops = (pj + len - pi) % len;
+                    if cut_positions.iter().any(|&pf| (pf + len - pi) % len < hops) {
+                        continue;
+                    }
                     candidates[a * n + b].push(Route {
                         loop_index: i,
                         hops,
@@ -317,5 +392,113 @@ mod tests {
         let expect = t.hop_matrix().average_connected_hops().unwrap();
         let got = table.average_hops().unwrap();
         assert!((expect - got).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_fault_rebuild_is_identical_to_build() {
+        let t = topo_4x4_two_rings();
+        let faults = FaultSet::new();
+        let (degraded, report) = RoutingTable::rebuild_excluding(&t, &faults);
+        assert_eq!(degraded, RoutingTable::build(&t));
+        assert_eq!(report.total_pairs, 16 * 15);
+        // Perimeter rings never reach the four inner nodes; the report
+        // must agree exactly with the healthy table's coverage.
+        assert_eq!(report, RoutingTable::build(&t).reachability_report());
+        // And under the balanced policy too.
+        let policy = RoutingPolicy::Balanced { slack: 2 };
+        let (degraded, _) = RoutingTable::rebuild_excluding_with(&t, &faults, policy);
+        assert_eq!(degraded, RoutingTable::build_with(&t, policy));
+    }
+
+    #[test]
+    fn failed_loop_reroutes_onto_survivor() {
+        let t = topo_4x4_two_rings();
+        let mut faults = FaultSet::new();
+        faults.fail_loop(0);
+        let (table, report) = RoutingTable::rebuild_excluding(&t, &faults);
+        // The CCW twin covers the same (perimeter) pairs alone, at worse
+        // average hops — every surviving route must use loop 1.
+        let healthy_report = RoutingTable::build(&t).reachability_report();
+        assert_eq!(report.reachable_pairs, healthy_report.reachable_pairs);
+        for s in t.grid().nodes() {
+            for d in t.grid().nodes() {
+                if let Some(r) = table.route(s, d) {
+                    assert_eq!(r.loop_index, 1);
+                }
+            }
+        }
+        let healthy = RoutingTable::build(&t).average_hops().unwrap();
+        assert!(report.average_hops.unwrap() > healthy);
+    }
+
+    #[test]
+    fn all_loops_failed_disconnects_everything() {
+        let t = topo_4x4_two_rings();
+        let mut faults = FaultSet::new();
+        faults.fail_loop(0).fail_loop(1);
+        let (table, report) = RoutingTable::rebuild_excluding(&t, &faults);
+        assert_eq!(report.reachable_pairs, 0);
+        assert_eq!(report.disconnected_pairs(), 16 * 15);
+        assert_eq!(report.average_hops, None);
+        assert!(!table.is_complete());
+    }
+
+    #[test]
+    fn failed_link_blocks_only_crossing_routes() {
+        // One CW loop on a 2x2 grid: nodes in loop order 0,1,3,2. Cut the
+        // link leaving node 1. Routes that cross it (e.g. 0->3, 1->2) die;
+        // upstream arcs (e.g. 0->1, 3->2) survive.
+        let g = Grid::square(2).unwrap();
+        let t = Topology::from_loops(
+            g,
+            [RectLoop::new(0, 0, 1, 1, Direction::Clockwise).unwrap()],
+        )
+        .unwrap();
+        let order = t.loops()[0].perimeter_nodes(&g);
+        let cut_from = order[1];
+        let mut faults = FaultSet::new();
+        faults.fail_link(0, cut_from);
+        let (table, report) = RoutingTable::rebuild_excluding(&t, &faults);
+        // Surviving pairs are exactly the arcs not spanning the cut: from
+        // position p to position q (p != q) going forward without passing
+        // position 1->2's link. Enumerate via the oracle.
+        let len = order.len();
+        let cut_pos = 1;
+        let mut expect_reachable = 0;
+        for pi in 0..len {
+            for pj in 0..len {
+                if pi == pj {
+                    continue;
+                }
+                let hops = (pj + len - pi) % len;
+                let crosses = (cut_pos + len - pi) % len < hops;
+                assert_eq!(
+                    table.route(order[pi], order[pj]).is_some(),
+                    !crosses,
+                    "pair positions ({pi},{pj})"
+                );
+                if !crosses {
+                    expect_reachable += 1;
+                }
+            }
+        }
+        assert_eq!(report.reachable_pairs, expect_reachable);
+        assert_eq!(report.total_pairs, 12);
+    }
+
+    #[test]
+    fn reachability_report_matches_table_queries() {
+        let t = topo_4x4_two_rings();
+        let mut faults = FaultSet::new();
+        faults.fail_loop(1);
+        let (table, report) = RoutingTable::rebuild_excluding(&t, &faults);
+        assert_eq!(
+            report.reachable_pairs + report.disconnected_pairs(),
+            report.total_pairs
+        );
+        for &(s, d) in &report.disconnected {
+            assert!(table.route(s, d).is_none());
+        }
+        assert_eq!(table.reachability_report(), report);
     }
 }
