@@ -16,9 +16,10 @@
 //! asserts the headline invariants for CI.
 
 use rlnoc_baselines::rec_topology;
-use rlnoc_bench::{drl_topology, f3, print_table, s, write_csv, Effort};
+use rlnoc_bench::{drl_topology, f3, print_table, s, write_csv, write_telemetry, Effort};
 use rlnoc_sim::traffic::Pattern;
-use rlnoc_sim::{run_synthetic, FaultPlan, RouterlessSim, SimConfig};
+use rlnoc_sim::{run_synthetic_traced, FaultPlan, RouterlessSim, SimConfig};
+use rlnoc_telemetry::TelemetrySink;
 use rlnoc_topology::{FaultSet, Grid, RoutingTable, Topology};
 
 /// One design's averaged degradation numbers at a given k.
@@ -30,7 +31,14 @@ struct Row {
     throughput: f64,
 }
 
-fn measure(topo: &Topology, k: usize, seeds: &[u64], cfg: &SimConfig, kill_at: u64) -> Row {
+fn measure(
+    topo: &Topology,
+    k: usize,
+    seeds: &[u64],
+    cfg: &SimConfig,
+    kill_at: u64,
+    mut rec: rlnoc_telemetry::Recorder,
+) -> Row {
     let num_loops = topo.loops().len();
     let mut acc = Row {
         reachability: 0.0,
@@ -49,7 +57,14 @@ fn measure(topo: &Topology, k: usize, seeds: &[u64], cfg: &SimConfig, kill_at: u
         // Dynamic: kill the same loops mid-warm-up and run traffic.
         let plan = FaultPlan::random_loop_kills(kill_at, k, num_loops, fs);
         let mut sim = RouterlessSim::with_faults(topo, plan);
-        let m = run_synthetic(&mut sim, Pattern::UniformRandom, 0.08, cfg, 0xFA17 + fs);
+        let m = run_synthetic_traced(
+            &mut sim,
+            Pattern::UniformRandom,
+            0.08,
+            cfg,
+            0xFA17 + fs,
+            &mut rec,
+        );
         acc.delivered += m.delivery_ratio();
         acc.latency += m.avg_packet_latency();
         acc.throughput += m.accepted_throughput();
@@ -92,15 +107,21 @@ fn main() {
     };
     let kill_at = cfg.warmup / 2;
 
+    let sink = TelemetrySink::enabled();
     let mut rows = Vec::new();
     let mut summary: Vec<(String, usize, Row)> = Vec::new();
     for (name, topo) in [("REC", &rec), ("DRL", &drl)] {
         for k in 0..=3 {
-            let row = measure(topo, k, &fault_seeds, &cfg, kill_at);
+            let rec_tel = sink.recorder(&format!("{name}.k{k}"));
+            let row = measure(topo, k, &fault_seeds, &cfg, kill_at, rec_tel);
+            // Reachability both ways: the raw pair fraction (what the
+            // invariants below compare) and the percentage EXPERIMENTS.md
+            // quotes — keeping the table and the doc on one scale.
             rows.push(vec![
                 s(name),
                 s(k),
                 f3(row.reachability),
+                format!("{:.2}%", row.reachability * 100.0),
                 f3(row.avg_hops),
                 f3(row.delivered),
                 f3(row.latency),
@@ -114,6 +135,7 @@ fn main() {
         "design",
         "loops_failed",
         "reachability",
+        "reachability_pct",
         "avg_hops",
         "delivered_fraction",
         "avg_latency",
@@ -129,6 +151,20 @@ fn main() {
         &rows,
     );
     write_csv("exp_fault_tolerance", &headers, &rows);
+    write_telemetry("exp_fault_tolerance", &sink);
+
+    // The traced runs' drop accounting must balance: everything injected
+    // is delivered, still in flight at drain end, unroutable under the
+    // degraded table, or dropped on a killed loop.
+    let injected = sink.counter_total("sim.packets_injected");
+    let accounted = sink.counter_total("sim.packets_delivered")
+        + sink.counter_total("sim.packets_in_flight_end")
+        + sink.counter_total("sim.unroutable_packets")
+        + sink.counter_total("sim.dropped_by_fault_packets");
+    assert_eq!(
+        injected, accounted,
+        "packet conservation must hold across all traced runs"
+    );
 
     // Degradation relative to each design's own fault-free baseline.
     let baseline = |name: &str| -> &Row {

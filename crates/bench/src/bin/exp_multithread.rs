@@ -9,10 +9,11 @@
 //!
 //! Usage: `exp_multithread [n] [cycles] [threads]` (defaults 6, 6, 4).
 
-use rlnoc_bench::{f3, print_table, s, write_csv};
+use rlnoc_bench::{f3, print_table, s, write_csv, write_telemetry};
 use rlnoc_core::explorer::ExplorerConfig;
 use rlnoc_core::parallel::explore_parallel;
 use rlnoc_core::routerless::RouterlessEnv;
+use rlnoc_telemetry::TelemetrySink;
 use rlnoc_topology::Grid;
 use std::time::Instant;
 
@@ -27,6 +28,8 @@ fn main() {
     let mut config = ExplorerConfig::fast();
     config.max_steps = (grid.len() / 8).max(4); // DNN/MCTS prefix; completion finishes
     config.epsilon = 0.3;
+    let sink = TelemetrySink::enabled();
+    config.telemetry = sink.clone();
 
     let mut rows = Vec::new();
     for t in [1usize, threads] {
@@ -89,6 +92,7 @@ fn main() {
         &rows,
     );
     write_csv("exp_multithread", &headers, &rows);
+    write_telemetry("exp_multithread", &sink);
     println!(
         "\nPaper reference (10x10, 10 h budget): 6 valid designs single-threaded vs 49\n\
          multi-threaded, with 44% lower hop-count SD."

@@ -1,0 +1,34 @@
+//! Renders per-phase summary tables from a telemetry JSONL file — the
+//! offline companion to the sinks the experiment binaries write under
+//! `results/*.telemetry.jsonl`.
+//!
+//! Usage: `telemetry_report <path.telemetry.jsonl>`
+
+use rlnoc_telemetry::report::{parse_jsonl, render, summarize};
+
+fn main() {
+    let path = match std::env::args().nth(1) {
+        Some(p) => p,
+        None => {
+            eprintln!("usage: telemetry_report <path.telemetry.jsonl>");
+            std::process::exit(2);
+        }
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match parse_jsonl(&text) {
+        Ok(events) => {
+            println!("{} events from {path}\n", events.len());
+            println!("{}", render(&summarize(&events)));
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

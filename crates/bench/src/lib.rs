@@ -146,6 +146,27 @@ pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> PathBuf 
     path
 }
 
+/// Writes a live sink's events as JSONL under
+/// `results/<name>.telemetry.jsonl` and prints the per-phase summary
+/// tables (the same rendering as the `telemetry_report` binary). Returns
+/// the path written, or `None` for a disabled sink or write failure.
+pub fn write_telemetry(name: &str, sink: &rlnoc_telemetry::TelemetrySink) -> Option<PathBuf> {
+    if !sink.is_enabled() {
+        return None;
+    }
+    let dir = PathBuf::from("results");
+    let _ = fs::create_dir_all(&dir);
+    let path = dir.join(format!("{name}.telemetry.jsonl"));
+    if let Err(e) = sink.write_jsonl(&path) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+        return None;
+    }
+    println!("(wrote {})", path.display());
+    let summaries = rlnoc_telemetry::report::summarize(&sink.events());
+    println!("{}", rlnoc_telemetry::report::render(&summaries));
+    Some(path)
+}
+
 /// Formats a float with 3 decimals (the tables' usual precision).
 pub fn f3(x: impl Into<f64>) -> String {
     format!("{:.3}", x.into())

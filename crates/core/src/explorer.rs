@@ -9,6 +9,7 @@ use crate::policy::{Episode, Evaluation, PolicyAgent, Step, TrainConfig, TrainSt
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use rlnoc_nn::PolicyValueConfig;
+use rlnoc_telemetry::{Recorder, TelemetrySink};
 use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 
 /// Tunables for the exploration loop.
@@ -48,6 +49,11 @@ pub struct ExplorerConfig {
     /// generation)`; 0 disables caching. MCTS revisits make this a large
     /// win — see [`crate::cache`].
     pub eval_cache_capacity: usize,
+    /// Telemetry sink for run instrumentation (losses, search-depth and
+    /// visit distributions, cache activity, kernel timings). The default
+    /// disabled sink compiles the probes down to a branch — exploration
+    /// results are bit-identical either way.
+    pub telemetry: TelemetrySink,
 }
 
 impl ExplorerConfig {
@@ -64,6 +70,7 @@ impl ExplorerConfig {
             complete_designs: true,
             net: None,
             eval_cache_capacity: 4096,
+            telemetry: TelemetrySink::disabled(),
         }
     }
 }
@@ -359,6 +366,8 @@ pub struct Explorer<E: Environment> {
     config: ExplorerConfig,
     rng: StdRng,
     seed: u64,
+    recorder: Recorder,
+    last_cache: CacheStats,
 }
 
 impl<E: Environment> Explorer<E> {
@@ -370,6 +379,7 @@ impl<E: Environment> Explorer<E> {
         };
         let mcts = Mcts::new(config.mcts);
         let cache = EvalCache::new(config.eval_cache_capacity);
+        let recorder = config.telemetry.recorder("explorer");
         Explorer {
             env,
             agent,
@@ -378,6 +388,8 @@ impl<E: Environment> Explorer<E> {
             config,
             rng: StdRng::seed_from_u64(seed.wrapping_add(0x9E37_79B9_7F4A_7C15)),
             seed,
+            recorder,
+            last_cache: CacheStats::default(),
         }
     }
 
@@ -405,9 +417,16 @@ impl<E: Environment> Explorer<E> {
     /// Runs `cycles` exploration cycles (callable repeatedly; the tree and
     /// network persist across calls).
     pub fn run_cycles(&mut self, cycles: usize) -> ExploreReport<E> {
+        let traced = self.recorder.is_enabled();
+        let prev_nn = if traced {
+            rlnoc_nn::instrument::install(self.config.telemetry.recorder("nn:explorer"))
+        } else {
+            None
+        };
         let mut designs = Vec::with_capacity(cycles);
         let mut train_history = Vec::with_capacity(cycles);
         for cycle in 0..cycles {
+            let timer = self.recorder.timer();
             let (episode, path) = run_episode(
                 &mut self.env,
                 &mut self.agent,
@@ -428,14 +447,26 @@ impl<E: Environment> Explorer<E> {
                     self.config.max_steps,
                 );
             }
+            let successful = self.env.is_successful();
+            if traced {
+                self.record_cycle(&stats, successful, episode.steps.len(), path.len());
+                self.recorder.observe_timer("explore.cycle_us", timer);
+            }
             train_history.push(stats);
             designs.push(DesignResult {
-                successful: self.env.is_successful(),
+                successful,
                 env: self.env.clone(),
                 final_return: episode.final_return,
                 cycle,
                 steps: episode.steps.len(),
             });
+        }
+        if traced {
+            self.record_run_end();
+            drop(rlnoc_nn::instrument::take());
+            if let Some(p) = prev_nn {
+                rlnoc_nn::instrument::install(p);
+            }
         }
         ExploreReport {
             designs,
@@ -443,6 +474,40 @@ impl<E: Environment> Explorer<E> {
             cycles_run: cycles,
             cache_stats: self.cache.stats(),
         }
+    }
+
+    /// Publishes one exploration cycle's telemetry (live recorders only).
+    fn record_cycle(&mut self, stats: &TrainStats, successful: bool, steps: usize, depth: usize) {
+        let rec = &mut self.recorder;
+        rec.incr("explore.cycles", 1);
+        if successful {
+            rec.incr("explore.designs_successful", 1);
+        }
+        rec.record("explore.steps", steps as u64);
+        rec.record("mcts.path_depth", depth as u64);
+        rec.gauge("train.policy_loss", f64::from(stats.policy_loss));
+        rec.gauge("train.value_loss", f64::from(stats.value_loss));
+        rec.gauge("train.grad_norm", f64::from(stats.grad_norm));
+        rec.gauge("train.entropy", f64::from(stats.entropy));
+        let cache = self.cache.stats();
+        rec.incr("cache.hits", cache.hits - self.last_cache.hits);
+        rec.incr("cache.misses", cache.misses - self.last_cache.misses);
+        self.last_cache = cache;
+    }
+
+    /// Publishes end-of-run telemetry: tree size, the edge-visit
+    /// distribution, and the parameter generation reached.
+    fn record_run_end(&mut self) {
+        let rec = &mut self.recorder;
+        rec.gauge("mcts.nodes", self.mcts.len() as f64);
+        for v in self.mcts.edge_visit_counts() {
+            rec.record("mcts.edge_visits", u64::from(v));
+        }
+        rec.gauge(
+            "train.param_generation",
+            self.agent.param_generation() as f64,
+        );
+        rec.flush();
     }
 
     /// Re-derives the exploration RNG stream for the batch beginning at

@@ -183,6 +183,16 @@ impl<A: Copy + Eq + Hash + Debug> Mcts<A> {
     pub fn node_visits(&self, state: u64) -> u32 {
         self.nodes.get(&state).map_or(0, |n| n.visits)
     }
+
+    /// Visit counts of every stored edge, in unspecified order. Telemetry
+    /// uses this to histogram how search effort concentrates; the sum
+    /// equals the total number of edge backups plus expansions revisited.
+    pub fn edge_visit_counts(&self) -> Vec<u32> {
+        self.nodes
+            .values()
+            .flat_map(|n| n.edges.values().map(|e| e.visits))
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -32,6 +32,7 @@ use crate::policy::{Evaluation, PolicyAgent, TrainStats};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rlnoc_telemetry::Recorder;
 use serde::{Deserialize, Serialize};
 use std::cell::Cell;
 use std::panic::AssertUnwindSafe;
@@ -85,6 +86,22 @@ impl<A: Copy + Eq + std::hash::Hash + std::fmt::Debug> SharedTree<A> {
     /// Wraps a tree for shared access.
     pub fn new(tree: Mcts<A>) -> Self {
         SharedTree(Arc::new(Mutex::new(tree)))
+    }
+
+    /// Number of stored nodes (lock-and-read; usable while other handles
+    /// are alive).
+    pub fn len(&self) -> usize {
+        self.0.lock().len()
+    }
+
+    /// Whether the shared tree has no nodes yet.
+    pub fn is_empty(&self) -> bool {
+        self.0.lock().is_empty()
+    }
+
+    /// Visit counts of every stored edge (see [`Mcts::edge_visit_counts`]).
+    pub fn edge_visit_counts(&self) -> Vec<u32> {
+        self.0.lock().edge_visit_counts()
     }
 
     /// Extracts the tree once all other handles are dropped.
@@ -299,6 +316,49 @@ fn worker_rng(seed: u64, t: usize, threads: usize, respawns: usize) -> StdRng {
     )
 }
 
+/// Builds the telemetry recorder for worker `t` and installs the matching
+/// nn-kernel recorder on the calling thread. When telemetry is off this
+/// returns a disabled recorder without allocating, keeping the worker loop
+/// on the zero-overhead path.
+fn worker_recorder(config: &ExplorerConfig, t: usize) -> Recorder {
+    if !config.telemetry.is_enabled() {
+        return Recorder::disabled();
+    }
+    let _ = rlnoc_nn::instrument::install(config.telemetry.recorder(&format!("nn:worker{t}")));
+    config.telemetry.recorder(&format!("worker{t}"))
+}
+
+/// Publishes the parent-side end-of-run summary (cache totals, tree size,
+/// edge-visit distribution, parameter generation, and — when supervised —
+/// panic/respawn accounting). No-op with telemetry disabled.
+fn publish_run_summary<A>(
+    config: &ExplorerConfig,
+    source: &str,
+    tree: &SharedTree<A>,
+    cache_stats: CacheStats,
+    param_generation: u64,
+    supervision: Option<&SupervisionReport>,
+) where
+    A: Copy + Eq + std::hash::Hash + std::fmt::Debug,
+{
+    if !config.telemetry.is_enabled() {
+        return;
+    }
+    let mut rec = config.telemetry.recorder(source);
+    rec.incr("cache.hits", cache_stats.hits);
+    rec.incr("cache.misses", cache_stats.misses);
+    rec.gauge("mcts.nodes", tree.len() as f64);
+    for v in tree.edge_visit_counts() {
+        rec.record("mcts.edge_visits", u64::from(v));
+    }
+    rec.gauge("train.param_generation", param_generation as f64);
+    if let Some(s) = supervision {
+        rec.incr("worker.panics", s.panics);
+        rec.incr("worker.respawns", s.respawns);
+        rec.incr("worker.lost", s.workers_lost as u64);
+    }
+}
+
 /// One complete worker cycle: pull parameters, run an episode against the
 /// shared tree, push gradients, warm the cache, record the result. Shared
 /// by the supervised and unsupervised drivers.
@@ -314,7 +374,9 @@ fn run_worker_cycle<E: Environment>(
     cycle: usize,
     results: &Mutex<Vec<DesignResult<E>>>,
     stats_log: &Mutex<Vec<TrainStats>>,
+    rec: &mut Recorder,
 ) {
+    let timer = rec.timer();
     // θ: parent → child, tagged with the parent's generation so cached
     // evaluations stay consistent.
     let (snapshot, generation) = {
@@ -351,9 +413,23 @@ fn run_worker_cycle<E: Environment>(
         local.set_param_generation(generation);
         crate::explorer::warm_cache(local, cache, &episode, &path, config.max_steps);
     }
+    let successful = env.is_successful();
+    if rec.is_enabled() {
+        rec.incr("explore.cycles", 1);
+        if successful {
+            rec.incr("explore.designs_successful", 1);
+        }
+        rec.record("explore.steps", episode.steps.len() as u64);
+        rec.record("mcts.path_depth", path.len() as u64);
+        rec.gauge("train.policy_loss", f64::from(stats.policy_loss));
+        rec.gauge("train.value_loss", f64::from(stats.value_loss));
+        rec.gauge("train.grad_norm", f64::from(stats.grad_norm));
+        rec.gauge("train.entropy", f64::from(stats.entropy));
+        rec.observe_timer("explore.cycle_us", timer);
+    }
     stats_log.lock().push(stats);
     results.lock().push(DesignResult {
-        successful: env.is_successful(),
+        successful,
         env: env.clone(),
         final_return: episode.final_return,
         cycle,
@@ -414,6 +490,7 @@ where
                     None => PolicyAgent::for_env(&env, config.train.clone(), seed),
                 };
                 let mut rng = worker_rng(seed, t, threads, 0);
+                let mut rec = worker_recorder(&config, t);
                 loop {
                     // Claim a cycle index, or finish.
                     let cycle = {
@@ -427,9 +504,10 @@ where
                     };
                     run_worker_cycle(
                         &mut env, &mut local, &mut tree, &mut cache, &parent, &config, &mut rng,
-                        cycle, &results, &stats_log,
+                        cycle, &results, &stats_log, &mut rec,
                     );
                 }
+                drop(rlnoc_nn::instrument::take());
             });
         }
     });
@@ -438,6 +516,14 @@ where
     designs.sort_by_key(|d| d.cycle);
     let train_history = drain_shared(stats_log);
     let cache_stats = cache.stats();
+    publish_run_summary(
+        config,
+        "parallel",
+        &tree,
+        cache_stats,
+        parent.lock().param_generation(),
+        None,
+    );
     ExploreReport {
         cycles_run: designs.len(),
         designs,
@@ -475,6 +561,10 @@ where
     E: Environment + Send + Sync,
     E::Action: Send + Sync,
 {
+    let parent = Mutex::new(match &config.net {
+        Some(net_cfg) => PolicyAgent::new(net_cfg.clone(), config.train.clone(), seed),
+        None => PolicyAgent::for_env(env, config.train.clone(), seed),
+    });
     explore_supervised_inner(
         env,
         config,
@@ -483,22 +573,26 @@ where
         seed,
         supervision,
         0,
-        None,
-        |_, _, _| Ok(()),
+        &parent,
     )
 }
 
-/// [`explore_parallel_supervised`] with periodic checkpointing: every
-/// [`CheckpointConfig::every`] completed cycles the parent network, its
-/// parameter generation, and the best design so far are written atomically
-/// to [`CheckpointConfig::path`]; if that file already exists the run
-/// resumes from it (restored parameters, remaining cycles only).
+/// [`explore_parallel_supervised`] with periodic checkpointing: the run is
+/// executed in *batches* of [`CheckpointConfig::every`] cycles, and after
+/// each batch the parent network, its parameter generation, and the best
+/// design so far are written atomically to [`CheckpointConfig::path`]; if
+/// that file already exists the run resumes from it (restored parameters,
+/// remaining batches only).
 ///
-/// The search tree and evaluation cache are rebuilt on resume — they are
-/// derived state, re-learnable from the restored network — so a resumed
-/// run is a continuation, not a bit-identical replay of the uninterrupted
-/// one. The checkpoint's `best` field tracks the best design across *all*
-/// runs, including ones before a restart.
+/// Each batch starts from a fresh search tree and evaluation cache with a
+/// batch-derived RNG stream (`seed` for the first batch, a cycle-salted
+/// mix thereafter), and workers join at batch boundaries. Because every
+/// batch's inputs are a pure function of `(seed, cycles_done, checkpointed
+/// parameters)`, a resumed run replays the remaining batches *identically*
+/// to the uninterrupted run — best design, per-cycle results, and parameter
+/// generation all match (asserted by `tests/checkpoint_resume.rs`). The
+/// checkpoint's `best` field tracks the best design across all runs,
+/// including ones before a restart.
 pub fn explore_parallel_checkpointed<E>(
     env: &E,
     config: &ExplorerConfig,
@@ -522,33 +616,84 @@ where
     } else {
         (0, None, None)
     };
-    let run_cycles = total_cycles.saturating_sub(resumed_from);
     let every = ckpt.every.max(1);
-    let best = Mutex::new(restored_best);
-    let last_saved = Mutex::new(resumed_from);
-    let save = |completed: usize,
-                parent: &Mutex<PolicyAgent>,
-                results: &Mutex<Vec<DesignResult<E>>>|
-     -> Result<(), CheckpointError> {
-        let done = resumed_from + completed;
-        {
-            // Save on cadence, plus once at exact completion.
-            let mut last = last_saved.lock();
-            if done < *last + every && completed != run_cycles {
-                return Ok(());
+    let mut parent_agent = match &config.net {
+        Some(net_cfg) => PolicyAgent::new(net_cfg.clone(), config.train.clone(), seed),
+        None => PolicyAgent::for_env(env, config.train.clone(), seed),
+    };
+    if let Some((params, generation)) = &restored_params {
+        parent_agent.net_mut().load_params(params);
+        parent_agent.set_param_generation(*generation);
+    }
+    let parent = Mutex::new(parent_agent);
+    let mut rec = config.telemetry.recorder("checkpoint");
+
+    let mut done = resumed_from;
+    let mut best = restored_best;
+    let mut designs: Vec<DesignResult<E>> = Vec::new();
+    let mut train_history = Vec::new();
+    let mut sup_total = SupervisionReport::default();
+    let mut cache_total = CacheStats::default();
+    while done < total_cycles {
+        let batch = every.min(total_cycles - done);
+        // Batch RNG stream: plain `seed` for the first batch (so an
+        // un-resumed single-batch run matches `explore_parallel_supervised`
+        // exactly), cycle-salted thereafter.
+        let batch_seed = if done == 0 {
+            seed
+        } else {
+            seed ^ (done as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        };
+        let r = explore_supervised_inner(
+            env,
+            config,
+            threads,
+            batch,
+            batch_seed,
+            supervision,
+            done,
+            &parent,
+        );
+        match r {
+            Ok(r) => {
+                merge_supervision(&mut sup_total, &r.supervision);
+                cache_total.merge(r.report.cache_stats);
+                for d in &r.report.designs {
+                    let better = d.successful
+                        && best
+                            .as_ref()
+                            .is_none_or(|b| d.final_return > b.final_return);
+                    if better {
+                        best = Some(d.clone());
+                    }
+                }
+                designs.extend(r.report.designs);
+                train_history.extend(r.report.train_history);
+                done += batch;
             }
-            *last = done;
-        }
-        let mut best = best.lock();
-        for d in results.lock().iter() {
-            let better = d.successful
-                && best
-                    .as_ref()
-                    .is_none_or(|b| d.final_return > b.final_return);
-            if better {
-                *best = Some(d.clone());
+            Err(ExploreError::WorkersExhausted { partial, .. }) => {
+                merge_supervision(&mut sup_total, &partial.supervision);
+                cache_total.merge(partial.report.cache_stats);
+                designs.extend(partial.report.designs);
+                train_history.extend(partial.report.train_history);
+                designs.sort_by_key(|d| d.cycle);
+                return Err(ExploreError::WorkersExhausted {
+                    partial: Box::new(SupervisedReport {
+                        report: ExploreReport {
+                            cycles_run: designs.len(),
+                            designs,
+                            train_history,
+                            cache_stats: cache_total,
+                        },
+                        supervision: sup_total,
+                        resumed_from,
+                    }),
+                    requested: total_cycles,
+                });
             }
+            Err(e) => return Err(e),
         }
+        let timer = rec.timer();
         let (params, param_generation) = {
             let mut p = parent.lock();
             (p.net_mut().param_snapshot(), p.param_generation())
@@ -560,23 +705,40 @@ where
             params,
             best: best.clone(),
         }
-        .save(&ckpt.path)
-    };
-    explore_supervised_inner(
-        env,
-        config,
-        threads,
-        run_cycles,
-        seed,
-        supervision,
+        .save(&ckpt.path)?;
+        if rec.is_enabled() {
+            rec.incr("checkpoint.saves", 1);
+            rec.observe_timer("checkpoint.save_us", timer);
+            rec.gauge("checkpoint.cycles_done", done as f64);
+            rec.flush();
+        }
+    }
+    Ok(SupervisedReport {
+        report: ExploreReport {
+            cycles_run: designs.len(),
+            designs,
+            train_history,
+            cache_stats: cache_total,
+        },
+        supervision: sup_total,
         resumed_from,
-        restored_params,
-        save,
-    )
+    })
 }
 
+/// Adds `batch`'s supervision accounting into `total`.
+fn merge_supervision(total: &mut SupervisionReport, batch: &SupervisionReport) {
+    total.panics += batch.panics;
+    total.respawns += batch.respawns;
+    total.workers_lost += batch.workers_lost;
+}
+
+/// The shared body of the supervised drivers: one batch of `total_cycles`
+/// cycles against a caller-owned `parent` parameter server, with a fresh
+/// shared tree and evaluation cache. Designs are tagged with
+/// `cycle_offset + local_cycle` so multi-batch callers
+/// ([`explore_parallel_checkpointed`]) report global indices.
 #[allow(clippy::too_many_arguments)]
-fn explore_supervised_inner<E, F>(
+fn explore_supervised_inner<E>(
     env: &E,
     config: &ExplorerConfig,
     threads: usize,
@@ -584,27 +746,15 @@ fn explore_supervised_inner<E, F>(
     seed: u64,
     supervision: SupervisionConfig,
     cycle_offset: usize,
-    initial_params: Option<(Vec<rlnoc_nn::Tensor>, u64)>,
-    on_progress: F,
+    parent: &Mutex<PolicyAgent>,
 ) -> Result<SupervisedReport<E>, ExploreError<E>>
 where
     E: Environment + Send + Sync,
     E::Action: Send + Sync,
-    F: Fn(usize, &Mutex<PolicyAgent>, &Mutex<Vec<DesignResult<E>>>) -> Result<(), CheckpointError>
-        + Sync,
 {
     if threads == 0 {
         return Err(ExploreError::ZeroThreads);
     }
-    let mut parent_agent = match &config.net {
-        Some(net_cfg) => PolicyAgent::new(net_cfg.clone(), config.train.clone(), seed),
-        None => PolicyAgent::for_env(env, config.train.clone(), seed),
-    };
-    if let Some((params, generation)) = &initial_params {
-        parent_agent.net_mut().load_params(params);
-        parent_agent.set_param_generation(*generation);
-    }
-    let parent = Mutex::new(parent_agent);
     let tree = SharedTree::new(Mcts::new(config.mcts));
     let cache = SharedEvalCache::new(EvalCache::new(config.eval_cache_capacity));
     let results: Mutex<Vec<DesignResult<E>>> = Mutex::new(Vec::new());
@@ -615,13 +765,11 @@ where
     let panics = AtomicU64::new(0);
     let respawns = AtomicU64::new(0);
     let workers_lost = AtomicUsize::new(0);
-    let checkpoint_err: Mutex<Option<CheckpointError>> = Mutex::new(None);
 
     std::thread::scope(|scope| {
         for t in 0..threads {
             let mut tree = tree.clone();
             let mut cache = cache.clone();
-            let parent = &parent;
             let results = &results;
             let stats_log = &stats_log;
             let cycle_counter = &cycle_counter;
@@ -629,8 +777,6 @@ where
             let panics = &panics;
             let respawns = &respawns;
             let workers_lost = &workers_lost;
-            let checkpoint_err = &checkpoint_err;
-            let on_progress = &on_progress;
             let proto = env.clone();
             let config = config.clone();
             scope.spawn(move || {
@@ -650,6 +796,7 @@ where
                 // the supervisor below so a panic can requeue it.
                 let in_flight: Cell<Option<usize>> = Cell::new(None);
                 let mut incarnation = 0usize;
+                let mut rec = worker_recorder(&config, t);
                 loop {
                     // Fresh incarnation state: environment clone, local DNN
                     // replica, respawn-salted RNG.
@@ -675,12 +822,9 @@ where
                                 cycle_offset + cycle,
                                 results,
                                 stats_log,
+                                &mut rec,
                             );
                             in_flight.set(None);
-                            let completed = results.lock().len();
-                            if let Err(e) = on_progress(completed, parent, results) {
-                                checkpoint_err.lock().get_or_insert(e);
-                            }
                         }
                     }));
                     match outcome {
@@ -699,6 +843,7 @@ where
                         }
                     }
                 }
+                drop(rlnoc_nn::instrument::take());
             });
         }
     });
@@ -708,6 +853,19 @@ where
     let train_history = std::mem::take(&mut *stats_log.lock());
     let cache_stats = cache.stats();
     let completed = designs.len();
+    let supervision_report = SupervisionReport {
+        panics: panics.load(Ordering::Relaxed),
+        respawns: respawns.load(Ordering::Relaxed),
+        workers_lost: workers_lost.load(Ordering::Relaxed),
+    };
+    publish_run_summary(
+        config,
+        "supervisor",
+        &tree,
+        cache_stats,
+        parent.lock().param_generation(),
+        Some(&supervision_report),
+    );
     let out = SupervisedReport {
         report: ExploreReport {
             cycles_run: completed,
@@ -715,16 +873,9 @@ where
             train_history,
             cache_stats,
         },
-        supervision: SupervisionReport {
-            panics: panics.load(Ordering::Relaxed),
-            respawns: respawns.load(Ordering::Relaxed),
-            workers_lost: workers_lost.load(Ordering::Relaxed),
-        },
+        supervision: supervision_report,
         resumed_from: cycle_offset,
     };
-    if let Some(e) = checkpoint_err.lock().take() {
-        return Err(ExploreError::Checkpoint(e));
-    }
     if completed < total_cycles {
         return Err(ExploreError::WorkersExhausted {
             partial: Box::new(out),

@@ -85,6 +85,10 @@ pub struct TrainStats {
     pub value_loss: f32,
     /// Pre-clip global gradient norm.
     pub grad_norm: f32,
+    /// Mean coordinate-head policy entropy (nats per head). Diagnostic
+    /// only — computed from the forward-pass logits without touching the
+    /// gradients, so recording it cannot perturb training.
+    pub entropy: f32,
     /// Number of steps trained on.
     pub steps: usize,
 }
@@ -293,6 +297,7 @@ impl PolicyAgent {
                 policy_loss: 0.0,
                 value_loss: 0.0,
                 grad_norm: 0.0,
+                entropy: 0.0,
                 steps: 0,
             };
         }
@@ -320,12 +325,14 @@ impl PolicyAgent {
         let mut value_grad = vec![0.0f32; steps];
         let mut policy_loss = 0.0f32;
         let mut value_loss = 0.0f32;
+        let mut entropy = 0.0f32;
         for (i, (step, &g_t)) in episode.steps.iter().zip(&returns).enumerate() {
             let v = values[i];
             let advantage = (g_t - f64::from(v)) as f32;
             let (coords, flag) = env.encode_action(step.action);
             for (h, &coord) in coords.iter().enumerate() {
                 let base = (i * 4 + h) * n;
+                entropy += softmax_entropy(&logits[base..base + n]);
                 let (l, g) = loss::policy_head_grad(&logits[base..base + n], coord, advantage);
                 policy_loss += l;
                 coord_grad[base..base + n].copy_from_slice(&g);
@@ -347,6 +354,7 @@ impl PolicyAgent {
             policy_loss: policy_loss / steps as f32,
             value_loss: value_loss / steps as f32,
             grad_norm: 0.0,
+            entropy: entropy / (steps * 4) as f32,
             steps,
         }
     }
@@ -373,6 +381,27 @@ impl PolicyAgent {
         stats.grad_norm = self.step_optimizer();
         stats
     }
+}
+
+/// Shannon entropy (nats) of the softmax distribution over `logits`,
+/// computed with the usual max-shift for numerical stability.
+fn softmax_entropy(logits: &[f32]) -> f32 {
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if !max.is_finite() {
+        return 0.0;
+    }
+    let mut z = 0.0f32;
+    let mut weighted = 0.0f32;
+    for &l in logits {
+        let e = (l - max).exp();
+        z += e;
+        weighted += e * (l - max);
+    }
+    if z <= 0.0 {
+        return 0.0;
+    }
+    // H = ln Z - Σ softmax(l) * (l - max)  (shift cancels).
+    (z.ln() - weighted / z).max(0.0)
 }
 
 /// Samples an index from an unnormalized probability table.

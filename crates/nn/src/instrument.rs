@@ -1,0 +1,68 @@
+//! Thread-local telemetry hook for kernel and network timings.
+//!
+//! The nn crate sits below the layers that own a
+//! [`TelemetrySink`](rlnoc_telemetry::TelemetrySink), so instrumentation is
+//! injected per thread: a caller (the explorer, a parallel worker, a bench
+//! binary) [`install`]s a [`Recorder`] on the thread about to run network
+//! code, and the GEMM/conv/forward paths record into it. With no recorder
+//! installed — the default — every probe is one thread-local load and a
+//! branch, with no allocation and no clock read, preserving the
+//! zero-overhead-when-disabled contract.
+
+use rlnoc_telemetry::{Recorder, Timer};
+use std::cell::RefCell;
+
+thread_local! {
+    static RECORDER: RefCell<Option<Recorder>> = const { RefCell::new(None) };
+}
+
+/// Installs `recorder` as this thread's kernel-timing sink, returning the
+/// previously installed one (flush or re-install it as appropriate).
+/// Disabled recorders are not installed — the hot paths then skip probe
+/// work entirely.
+pub fn install(recorder: Recorder) -> Option<Recorder> {
+    if !recorder.is_enabled() {
+        return None;
+    }
+    RECORDER.with(|slot| slot.borrow_mut().replace(recorder))
+}
+
+/// Removes and returns this thread's recorder, if any. Dropping the
+/// returned recorder flushes its accumulated timings.
+pub fn take() -> Option<Recorder> {
+    RECORDER.with(|slot| slot.borrow_mut().take())
+}
+
+/// True when a live recorder is installed on this thread.
+pub fn is_active() -> bool {
+    RECORDER.with(|slot| slot.borrow().is_some())
+}
+
+/// Starts a timer on the installed recorder (inert when none).
+pub(crate) fn start() -> Timer {
+    RECORDER.with(|slot| match slot.borrow().as_ref() {
+        Some(rec) => rec.timer(),
+        None => Timer::inert(),
+    })
+}
+
+/// Records a started timer's elapsed microseconds into `name`.
+pub(crate) fn record_since(name: &'static str, timer: Timer) {
+    if !timer.is_started() {
+        return;
+    }
+    RECORDER.with(|slot| {
+        if let Some(rec) = slot.borrow_mut().as_mut() {
+            rec.observe_timer(name, timer);
+        }
+    });
+}
+
+/// Records one histogram sample into `name` (no-op when inactive).
+pub(crate) fn record_value(name: &'static str, value: u64) {
+    RECORDER.with(|slot| {
+        if let Some(rec) = slot.borrow_mut().as_mut() {
+            rec.record(name, value);
+        }
+    });
+}

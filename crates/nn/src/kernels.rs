@@ -109,10 +109,12 @@ pub fn gemm(
         c.fill(0.0);
         return;
     }
+    let timer = crate::instrument::start();
 
     let threads = effective_threads(m, k, n);
     if threads <= 1 {
         gemm_band(trans_a, trans_b, m, k, n, a, b, c, 0);
+        crate::instrument::record_since("nn.gemm_us", timer);
         return;
     }
 
@@ -134,6 +136,7 @@ pub fn gemm(
             row += rows;
         }
     });
+    crate::instrument::record_since("nn.gemm_us", timer);
 }
 
 /// Computes rows `[row0, row0 + rows)` of `C` into `c_band` (whose row 0 is

@@ -57,6 +57,7 @@ impl Conv2d {
 
 impl Layer for Conv2d {
     fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        let timer = crate::instrument::start();
         let [n, c, h, w] = shape4(x);
         assert_eq!(c, self.in_c, "input channel mismatch");
         let hw = h * w;
@@ -80,6 +81,7 @@ impl Layer for Conv2d {
             }
         }
         self.cache = Some(x.clone());
+        crate::instrument::record_since("nn.conv_us", timer);
         out
     }
 

@@ -38,6 +38,7 @@ mod error;
 mod tensor;
 
 pub mod init;
+pub mod instrument;
 pub mod kernels;
 pub mod layers;
 pub mod loss;

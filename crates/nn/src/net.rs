@@ -187,11 +187,14 @@ impl PolicyValueNet {
             [s, s],
             "expected {s}x{s} input state matrix"
         );
+        let timer = crate::instrument::start();
         let batch = x.shape()[0];
+        crate::instrument::record_value("nn.forward_batch", batch as u64);
         let features = self.trunk.forward(x, train);
         let coord = self.coord_head.forward(&features, train);
         let dir = self.dir_head.forward(&features, train);
         let value = self.value_head.forward(&features, train);
+        crate::instrument::record_since("nn.forward_us", timer);
         PolicyValueOutput {
             coord_logits: coord
                 .reshape(&[batch, 4, self.config.n])

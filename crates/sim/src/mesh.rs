@@ -591,6 +591,11 @@ impl Network for MeshSim {
     fn in_flight(&self) -> usize {
         self.in_flight_packets
     }
+
+    fn telemetry_sample(&self, rec: &mut rlnoc_telemetry::Recorder) {
+        rec.incr("sim.dropped_by_fault_packets", self.dropped_by_fault());
+        rec.incr("sim.dropped_by_fault_flits", self.dropped_fault_flits());
+    }
 }
 
 #[cfg(test)]

@@ -447,6 +447,21 @@ impl RouterlessSim {
     pub fn deflections(&self) -> u64 {
         self.deflections
     }
+
+    /// Ejection-calendar occupancy: `(scheduled, capacity)` where
+    /// `scheduled` is the number of slot indices currently booked across
+    /// every lane's calendar and `capacity` is the total slot count of all
+    /// lanes. The ratio is the fraction of in-loop wiring carrying flits
+    /// that still owe an ejection.
+    pub fn calendar_occupancy(&self) -> (usize, usize) {
+        let mut scheduled = 0;
+        let mut capacity = 0;
+        for lane in &self.lanes {
+            scheduled += lane.calendar.iter().map(Vec::len).sum::<usize>();
+            capacity += lane.slots.len();
+        }
+        (scheduled, capacity)
+    }
 }
 
 impl Network for RouterlessSim {
@@ -624,6 +639,17 @@ impl Network for RouterlessSim {
 
     fn in_flight(&self) -> usize {
         self.in_flight_packets
+    }
+
+    fn telemetry_sample(&self, rec: &mut rlnoc_telemetry::Recorder) {
+        rec.incr("sim.unroutable_packets", self.unroutable());
+        rec.incr("sim.dropped_by_fault_packets", self.dropped_by_fault());
+        rec.incr("sim.dropped_by_fault_flits", self.dropped_fault_flits());
+        rec.incr("sim.deflected_flits", self.deflections());
+        let (scheduled, capacity) = self.calendar_occupancy();
+        if capacity > 0 {
+            rec.gauge("sim.calendar_occupancy", scheduled as f64 / capacity as f64);
+        }
     }
 }
 #[cfg(test)]

@@ -52,6 +52,15 @@ pub trait Network {
 
     /// Packets currently queued or in flight (for drain accounting).
     fn in_flight(&self) -> usize;
+
+    /// Records fabric-specific end-of-run telemetry (cumulative drop
+    /// counters, occupancy gauges, ...) into `rec`. Counters published
+    /// here are lifetime totals, so call it once per run — the traced
+    /// drivers ([`run_with_source_traced`]) do. The default records
+    /// nothing.
+    fn telemetry_sample(&self, rec: &mut rlnoc_telemetry::Recorder) {
+        let _ = rec;
+    }
 }
 
 impl<N: Network + ?Sized> Network for Box<N> {
@@ -72,6 +81,9 @@ impl<N: Network + ?Sized> Network for Box<N> {
     }
     fn in_flight(&self) -> usize {
         (**self).in_flight()
+    }
+    fn telemetry_sample(&self, rec: &mut rlnoc_telemetry::Recorder) {
+        (**self).telemetry_sample(rec)
     }
 }
 
@@ -147,6 +159,82 @@ pub fn run_with_source<N: Network>(
     metrics
 }
 
+/// [`run_with_source`] plus telemetry: counts *every* injected and
+/// delivered packet/flit (warm-up and drain included, unlike `Metrics`'
+/// measurement-window accounting), records the latency distribution and
+/// end-of-run in-flight backlog, and samples fabric-specific counters via
+/// [`Network::telemetry_sample`].
+///
+/// Telemetry is observation-only: the returned [`Metrics`] are bit-identical
+/// to [`run_with_source`] on the same inputs (asserted by the golden-trace
+/// tests), whether `rec` is live or disabled. The emitted counters satisfy
+/// the conservation identity: `sim.packets_injected` equals the sum of
+/// `sim.packets_delivered`, `sim.packets_in_flight_end`,
+/// `sim.unroutable_packets`, and `sim.dropped_by_fault_packets` (the last
+/// two from the routerless fabric's sample; faultless meshes drop nothing).
+pub fn run_with_source_traced<N: Network>(
+    net: &mut N,
+    source: &mut impl PacketSource,
+    cfg: &SimConfig,
+    rec: &mut rlnoc_telemetry::Recorder,
+) -> Metrics {
+    let timer = rec.timer();
+    let grid = *net.grid();
+    let mut metrics = Metrics::new(grid.len(), cfg.measure);
+    let total = cfg.warmup + cfg.measure + cfg.drain;
+    let mut fresh: Vec<Packet> = Vec::new();
+    let mut delivered: Vec<Delivery> = Vec::new();
+    let mut injected_packets = 0u64;
+    let mut injected_flits = 0u64;
+    let mut delivered_packets = 0u64;
+    let mut delivered_flits = 0u64;
+    for cycle in 0..total {
+        if cycle < cfg.warmup + cfg.measure {
+            let measured = cycle >= cfg.warmup;
+            fresh.clear();
+            source.generate_into(cycle, cfg, measured, &mut fresh);
+            for &p in &fresh {
+                injected_packets += 1;
+                injected_flits += p.flits as u64;
+                if measured {
+                    metrics.record_offered(p.flits);
+                }
+                net.offer(p);
+            }
+        }
+        net.tick(cycle);
+        delivered.clear();
+        net.drain_deliveries(&mut delivered);
+        for d in &delivered {
+            delivered_packets += 1;
+            delivered_flits += d.packet.flits as u64;
+            if d.packet.measured {
+                metrics.record_delivery(d.delivered - d.packet.created, d.hops, d.packet.flits);
+            }
+        }
+    }
+    if rec.is_enabled() {
+        rec.incr("sim.cycles", total);
+        rec.incr("sim.packets_injected", injected_packets);
+        rec.incr("sim.flits_injected", injected_flits);
+        rec.incr("sim.packets_delivered", delivered_packets);
+        rec.incr("sim.flits_delivered", delivered_flits);
+        rec.incr("sim.packets_in_flight_end", net.in_flight() as u64);
+        // Mirror the measurement-window latency histogram (exact per-cycle
+        // counts; the overflow bucket is reported at the observed max).
+        let hist = &metrics.latency_hist;
+        if let Some((&overflow, exact)) = hist.split_last() {
+            let mut h = rlnoc_telemetry::Histogram::from_linear_counts(exact);
+            h.record_n(metrics.max_latency, overflow);
+            rec.merge_hist("sim.packet_latency", &h);
+        }
+        net.telemetry_sample(rec);
+        rec.observe_timer("sim.run_us", timer);
+        rec.flush();
+    }
+    metrics
+}
+
 /// Runs a synthetic-traffic experiment at `rate` flits/node/cycle (the
 /// paper's x-axes), returning aggregated [`Metrics`].
 pub fn run_synthetic<N: Network>(
@@ -158,6 +246,19 @@ pub fn run_synthetic<N: Network>(
 ) -> Metrics {
     let mut gen = TrafficGen::new(*net.grid(), pattern, rate, seed);
     run_with_source(net, &mut gen, cfg)
+}
+
+/// [`run_synthetic`] with telemetry, via [`run_with_source_traced`].
+pub fn run_synthetic_traced<N: Network>(
+    net: &mut N,
+    pattern: Pattern,
+    rate: f64,
+    cfg: &SimConfig,
+    seed: u64,
+    rec: &mut rlnoc_telemetry::Recorder,
+) -> Metrics {
+    let mut gen = TrafficGen::new(*net.grid(), pattern, rate, seed);
+    run_with_source_traced(net, &mut gen, cfg, rec)
 }
 
 /// [`run_synthetic`] with inputs validated at the boundary: the rate must

@@ -20,6 +20,7 @@
 use crate::config::SimConfig;
 use crate::runner::{run_synthetic, Network};
 use crate::traffic::Pattern;
+use rlnoc_telemetry::TelemetrySink;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -304,16 +305,59 @@ impl<'a> SweepJob<'a> {
 /// per-point slots and are reduced by the same serial [`scan`] the
 /// reference implementation uses, so the output is bit-identical at any
 /// thread count (see the module-level determinism contract).
-#[derive(Debug, Clone, Copy)]
+///
+/// An engine optionally carries a [`TelemetrySink`]
+/// ([`SweepEngine::with_telemetry`]); when live, every evaluated sweep
+/// point records its rate/latency/throughput gauges and wall time. The
+/// telemetry is observation-only — sweep results are unchanged by it.
+#[derive(Debug, Clone)]
 pub struct SweepEngine {
     threads: usize,
+    telemetry: TelemetrySink,
 }
 
 impl SweepEngine {
-    /// An engine running `threads` workers (≥ 1).
+    /// An engine running `threads` workers (≥ 1), without telemetry.
     pub fn new(threads: usize) -> Self {
         assert!(threads >= 1, "an engine needs at least one worker");
-        SweepEngine { threads }
+        SweepEngine {
+            threads,
+            telemetry: TelemetrySink::disabled(),
+        }
+    }
+
+    /// Attaches a telemetry sink; per-point samples flow into it from
+    /// every sweep this engine runs.
+    pub fn with_telemetry(mut self, sink: TelemetrySink) -> Self {
+        self.telemetry = sink;
+        self
+    }
+
+    /// Evaluates one point, recording per-point telemetry when the
+    /// engine's sink is live. With a disabled sink this is exactly
+    /// [`evaluate_point`].
+    fn traced_point<N: Network>(
+        &self,
+        net: &mut N,
+        pattern: Pattern,
+        cfg: &SimConfig,
+        rate: f64,
+        seed: u64,
+    ) -> SweepPoint {
+        if !self.telemetry.is_enabled() {
+            return evaluate_point(net, pattern, cfg, rate, seed);
+        }
+        let mut rec = self.telemetry.recorder("sweep");
+        rec.set_phase("sweep");
+        let timer = rec.timer();
+        let point = evaluate_point(net, pattern, cfg, rate, seed);
+        rec.observe_timer("sweep.point_us", timer);
+        rec.incr("sweep.points", 1);
+        rec.gauge("sweep.rate", point.rate);
+        rec.gauge("sweep.latency", point.latency);
+        rec.gauge("sweep.throughput", point.accepted);
+        rec.gauge("sweep.delivery_ratio", point.delivery_ratio);
+        point
     }
 
     /// A single-worker engine (parallel code path, serial schedule).
@@ -384,7 +428,7 @@ impl SweepEngine {
         let rates = params.rates();
         let slots = self.evaluate_rates(&rates, params.latency_factor, |rate| {
             let mut net = factory();
-            evaluate_point(&mut net, pattern, cfg, rate, params.seed)
+            self.traced_point(&mut net, pattern, cfg, rate, params.seed)
         });
         scan(slots.into_iter().map_while(|p| p), params.latency_factor)
     }
@@ -423,7 +467,7 @@ impl SweepEngine {
                     }
                     let job = &jobs[j];
                     let mut net = (job.factory)();
-                    let point = evaluate_point(
+                    let point = self.traced_point(
                         &mut net,
                         job.pattern,
                         &job.cfg,
@@ -471,7 +515,7 @@ impl SweepEngine {
         }
         let eval = |rate: f64| {
             let mut net = factory();
-            evaluate_point(&mut net, pattern, cfg, rate, params.seed)
+            self.traced_point(&mut net, pattern, cfg, rate, params.seed)
         };
         let mut cache: Vec<Option<SweepPoint>> = vec![None; n];
         let mut zero_load = f64::NAN;

@@ -1,0 +1,388 @@
+//! Mergeable metric primitives: power-of-two histograms, gauge summaries,
+//! and the per-recorder state map that holds them.
+//!
+//! Everything here merges *commutatively*: counters and histogram buckets
+//! add, gauge/histogram `min`/`max` compose, and the state map keeps its
+//! entries sorted by metric name, so any merge order over a set of states
+//! produces the same result as applying every sample to a single state.
+
+/// Number of histogram buckets: one for zero plus one per bit length.
+pub const HIST_BUCKETS: usize = 65;
+
+/// A power-of-two-bucketed histogram over `u64` samples.
+///
+/// Bucket `0` holds the value `0`; bucket `i >= 1` holds values with bit
+/// length `i` (i.e. `2^(i-1) ..= 2^i - 1`). Exact `count`/`sum`/`min`/`max`
+/// are tracked alongside, so means are exact and percentiles are accurate
+/// to a power-of-two bucket (clamped into `[min, max]`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: Box<[u64; HIST_BUCKETS]>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+fn bucket_upper(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else if index >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: Box::new([0; HIST_BUCKETS]),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` samples of the same value.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.count += n;
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[bucket_index(value)] += n;
+    }
+
+    /// Builds a histogram from a linear count array where `counts[v]` is
+    /// the number of samples with value exactly `v` (the layout used by
+    /// the simulator's latency histogram).
+    pub fn from_linear_counts(counts: &[u64]) -> Self {
+        let mut h = Histogram::new();
+        for (value, &n) in counts.iter().enumerate() {
+            h.record_n(value as u64, n);
+        }
+        h
+    }
+
+    /// Adds all of `other`'s samples into `self` (bucket-wise).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact mean of the recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank percentile, resolved to the upper bound of the bucket
+    /// holding the ranked sample and clamped into `[min, max]`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// Running summary of a gauge (a sampled `f64` level).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaugeStat {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Default for GaugeStat {
+    fn default() -> Self {
+        GaugeStat {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl GaugeStat {
+    /// Records one observation.
+    pub fn observe(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Adds all of `other`'s observations into `self`.
+    pub fn merge(&mut self, other: &GaugeStat) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean of the observations (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// The metric state accumulated by one recorder between flushes: named
+/// counters, gauges, and histograms, each kept sorted by name so that the
+/// representation (and therefore equality) is canonical regardless of the
+/// order in which metrics were first touched.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecorderState {
+    counters: Vec<(&'static str, u64)>,
+    gauges: Vec<(&'static str, GaugeStat)>,
+    hists: Vec<(&'static str, Histogram)>,
+}
+
+fn slot<'a, T: Default>(entries: &'a mut Vec<(&'static str, T)>, name: &'static str) -> &'a mut T {
+    let idx = match entries.binary_search_by(|(n, _)| n.cmp(&name)) {
+        Ok(i) => i,
+        Err(i) => {
+            entries.insert(i, (name, T::default()));
+            i
+        }
+    };
+    &mut entries[idx].1
+}
+
+fn lookup<'a, T>(entries: &'a [(&'static str, T)], name: &str) -> Option<&'a T> {
+    entries
+        .binary_search_by(|(n, _)| (*n).cmp(name))
+        .ok()
+        .map(|i| &entries[i].1)
+}
+
+impl RecorderState {
+    /// Creates an empty state.
+    pub fn new() -> Self {
+        RecorderState::default()
+    }
+
+    /// Adds `by` to the named counter.
+    pub fn incr(&mut self, name: &'static str, by: u64) {
+        *slot(&mut self.counters, name) += by;
+    }
+
+    /// Observes a gauge sample.
+    pub fn gauge(&mut self, name: &'static str, value: f64) {
+        slot(&mut self.gauges, name).observe(value);
+    }
+
+    /// Records one histogram sample.
+    pub fn record(&mut self, name: &'static str, value: u64) {
+        slot(&mut self.hists, name).record(value);
+    }
+
+    /// Records `n` identical histogram samples.
+    pub fn record_n(&mut self, name: &'static str, value: u64, n: u64) {
+        slot(&mut self.hists, name).record_n(value, n);
+    }
+
+    /// Merges a whole pre-built histogram into the named histogram.
+    pub fn merge_hist(&mut self, name: &'static str, hist: &Histogram) {
+        slot(&mut self.hists, name).merge(hist);
+    }
+
+    /// Merges all of `other` into `self` (commutative and associative for
+    /// counters and histograms; gauge float sums are commutative but, as
+    /// with any float accumulation, only approximately associative).
+    pub fn merge(&mut self, other: &RecorderState) {
+        for &(name, v) in &other.counters {
+            self.incr(name, v);
+        }
+        for (name, g) in &other.gauges {
+            slot(&mut self.gauges, name).merge(g);
+        }
+        for (name, h) in &other.hists {
+            slot(&mut self.hists, name).merge(h);
+        }
+    }
+
+    /// Current value of the named counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        lookup(&self.counters, name).copied().unwrap_or(0)
+    }
+
+    /// Summary of the named gauge, if observed.
+    pub fn gauge_stat(&self, name: &str) -> Option<&GaugeStat> {
+        lookup(&self.gauges, name)
+    }
+
+    /// The named histogram, if any samples were recorded.
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        lookup(&self.hists, name)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> &[(&'static str, u64)] {
+        &self.counters
+    }
+
+    /// All gauges, sorted by name.
+    pub fn gauges(&self) -> &[(&'static str, GaugeStat)] {
+        &self.gauges
+    }
+
+    /// All histograms, sorted by name.
+    pub fn hists(&self) -> &[(&'static str, Histogram)] {
+        &self.hists
+    }
+
+    /// True when no metric has been touched since the last clear.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+    }
+
+    /// Drops all accumulated state (capacity retained).
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.gauges.clear();
+        self.hists.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 5050);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 100);
+        // p50 rank is 50, which lands in the 32..=63 bucket -> upper 63.
+        assert_eq!(h.percentile(50.0), 63);
+        // p99 rank is 99, in the 64..=127 bucket, clamped to max 100.
+        assert_eq!(h.percentile(99.0), 100);
+        assert_eq!(h.percentile(0.0), 1);
+    }
+
+    #[test]
+    fn histogram_from_linear_counts_matches_manual() {
+        let counts = [0u64, 3, 0, 2, 1];
+        let h = Histogram::from_linear_counts(&counts);
+        let mut m = Histogram::new();
+        for _ in 0..3 {
+            m.record(1);
+        }
+        for _ in 0..2 {
+            m.record(3);
+        }
+        m.record(4);
+        assert_eq!(h, m);
+    }
+
+    #[test]
+    fn state_merge_is_order_independent() {
+        let mut a = RecorderState::new();
+        a.incr("x", 2);
+        a.record("h", 7);
+        let mut b = RecorderState::new();
+        b.incr("y", 1);
+        b.incr("x", 3);
+        b.record("h", 9);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.counter("x"), 5);
+        assert_eq!(ab.hist("h").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

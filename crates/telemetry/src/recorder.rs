@@ -1,0 +1,242 @@
+//! Per-thread metric recorders and scoped timers.
+//!
+//! A [`Recorder`] is either *live* (owns a private [`RecorderState`] plus a
+//! handle to the shared sink) or *disabled* (`None`; every call is one
+//! branch, no allocation, no clock read). Live recorders accumulate
+//! lock-free and only take the sink mutex at [`Recorder::flush`].
+
+use crate::metrics::{Histogram, RecorderState};
+use crate::sink::SinkShared;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Default phase label for recorders that never call [`Recorder::set_phase`].
+const DEFAULT_PHASE: &str = "run";
+
+#[derive(Debug)]
+struct Inner {
+    sink: Arc<SinkShared>,
+    source: String,
+    phase: &'static str,
+    state: RecorderState,
+}
+
+/// A per-thread metric recorder.
+///
+/// Obtain one from [`TelemetrySink::recorder`](crate::TelemetrySink::recorder);
+/// the sink decides whether it is live or a no-op. Dropping a live recorder
+/// flushes any unpublished state.
+#[derive(Debug)]
+pub struct Recorder {
+    inner: Option<Box<Inner>>,
+}
+
+impl Recorder {
+    /// A recorder whose every operation is a no-op.
+    pub fn disabled() -> Self {
+        Recorder { inner: None }
+    }
+
+    pub(crate) fn live(sink: Arc<SinkShared>, source: String) -> Self {
+        Recorder {
+            inner: Some(Box::new(Inner {
+                sink,
+                source,
+                phase: DEFAULT_PHASE,
+                state: RecorderState::new(),
+            })),
+        }
+    }
+
+    /// True when samples are actually collected.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Sets the phase label for subsequently recorded metrics. Flushes any
+    /// pending state first so earlier samples keep their phase.
+    pub fn set_phase(&mut self, phase: &'static str) {
+        if self.inner.is_some() {
+            self.flush();
+            if let Some(inner) = &mut self.inner {
+                inner.phase = phase;
+            }
+        }
+    }
+
+    /// The current phase label (`"run"` by default; `""` when disabled).
+    pub fn phase(&self) -> &'static str {
+        match &self.inner {
+            Some(inner) => inner.phase,
+            None => "",
+        }
+    }
+
+    /// Adds `by` to the named counter.
+    pub fn incr(&mut self, name: &'static str, by: u64) {
+        if let Some(inner) = &mut self.inner {
+            inner.state.incr(name, by);
+        }
+    }
+
+    /// Observes a gauge sample.
+    pub fn gauge(&mut self, name: &'static str, value: f64) {
+        if let Some(inner) = &mut self.inner {
+            inner.state.gauge(name, value);
+        }
+    }
+
+    /// Records one histogram sample.
+    pub fn record(&mut self, name: &'static str, value: u64) {
+        if let Some(inner) = &mut self.inner {
+            inner.state.record(name, value);
+        }
+    }
+
+    /// Records `n` identical histogram samples.
+    pub fn record_n(&mut self, name: &'static str, value: u64, n: u64) {
+        if let Some(inner) = &mut self.inner {
+            inner.state.record_n(name, value, n);
+        }
+    }
+
+    /// Merges a pre-built histogram into the named histogram.
+    pub fn merge_hist(&mut self, name: &'static str, hist: &Histogram) {
+        if let Some(inner) = &mut self.inner {
+            inner.state.merge_hist(name, hist);
+        }
+    }
+
+    /// Starts a timer. On a disabled recorder the clock is never read and
+    /// the returned timer is inert.
+    pub fn timer(&self) -> Timer {
+        if self.inner.is_some() {
+            Timer {
+                start: Some(Instant::now()),
+            }
+        } else {
+            Timer::inert()
+        }
+    }
+
+    /// Records the elapsed microseconds of a started [`Timer`] into the
+    /// named histogram. Inert timers (from disabled recorders) are ignored.
+    pub fn observe_timer(&mut self, name: &'static str, timer: Timer) {
+        if let (Some(inner), Some(start)) = (&mut self.inner, timer.start) {
+            inner.state.record(name, start.elapsed().as_micros() as u64);
+        }
+    }
+
+    /// Scoped timer: records elapsed microseconds into `name` when the
+    /// returned guard drops. The recorder is mutably borrowed for the
+    /// span's lifetime; use [`Recorder::timer`]/[`Recorder::observe_timer`]
+    /// when other metrics must be recorded inside the timed region.
+    pub fn span(&mut self, name: &'static str) -> Span<'_> {
+        let timer = self.timer();
+        Span {
+            recorder: self,
+            name,
+            timer,
+        }
+    }
+
+    /// A read-only view of the unflushed state (None when disabled).
+    pub fn state(&self) -> Option<&RecorderState> {
+        self.inner.as_ref().map(|inner| &inner.state)
+    }
+
+    /// Publishes accumulated state to the sink as timestamped events and
+    /// clears it. No-op when disabled or when nothing was recorded.
+    pub fn flush(&mut self) {
+        if let Some(inner) = &mut self.inner {
+            if !inner.state.is_empty() {
+                inner
+                    .sink
+                    .publish(&inner.source, inner.phase, &mut inner.state);
+            }
+        }
+    }
+}
+
+impl Drop for Recorder {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// A started (or inert) stopwatch; see [`Recorder::timer`].
+#[derive(Debug, Clone, Copy)]
+pub struct Timer {
+    start: Option<Instant>,
+}
+
+impl Timer {
+    /// A timer that never records anything.
+    pub fn inert() -> Self {
+        Timer { start: None }
+    }
+
+    /// True when this timer actually read the clock at creation.
+    pub fn is_started(&self) -> bool {
+        self.start.is_some()
+    }
+}
+
+/// Guard returned by [`Recorder::span`]; records on drop.
+#[derive(Debug)]
+pub struct Span<'a> {
+    recorder: &'a mut Recorder,
+    name: &'static str,
+    timer: Timer,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.recorder.observe_timer(self.name, self.timer);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TelemetrySink;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let mut rec = Recorder::disabled();
+        rec.incr("c", 1);
+        rec.gauge("g", 1.0);
+        rec.record("h", 1);
+        let t = rec.timer();
+        assert!(!t.is_started());
+        rec.observe_timer("t", t);
+        assert!(rec.state().is_none());
+        rec.flush();
+    }
+
+    #[test]
+    fn span_records_on_drop() {
+        let sink = TelemetrySink::enabled();
+        let mut rec = sink.recorder("t");
+        {
+            let _span = rec.span("op_us");
+        }
+        rec.flush();
+        assert_eq!(sink.hist_total("op_us").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn set_phase_splits_flushes() {
+        let sink = TelemetrySink::enabled();
+        let mut rec = sink.recorder("t");
+        rec.incr("c", 1);
+        rec.set_phase("late");
+        rec.incr("c", 2);
+        drop(rec);
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].phase, "run");
+        assert_eq!(events[1].phase, "late");
+        assert_eq!(sink.counter_total("c"), 3);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests for the commutative-merge contract: partition an
+//! arbitrary event sequence across simulated threads, merge the per-thread
+//! states in an arbitrary order, and the merged counter/histogram state
+//! must equal the serial reduction of the whole sequence.
+
+use proptest::prelude::*;
+use rlnoc_telemetry::{RecorderState, TelemetrySink};
+
+const NAMES: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+
+/// One recorded sample: which metric, which kind, and the value.
+#[derive(Debug, Clone, Copy)]
+struct Op {
+    name: &'static str,
+    kind: u8,
+    value: u64,
+}
+
+fn apply(state: &mut RecorderState, op: Op) {
+    match op.kind {
+        0 => state.incr(op.name, op.value),
+        1 => state.record(op.name, op.value),
+        _ => state.gauge(op.name, op.value as f64),
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0..NAMES.len(), 0..3u8, 0..1_000_000u64).prop_map(|(n, kind, value)| Op {
+        name: NAMES[n],
+        kind,
+        value,
+    })
+}
+
+/// Deterministic permutation of `0..n` driven by a seed (splitmix64-based
+/// Fisher-Yates), standing in for an arbitrary merge order.
+fn permutation(n: usize, mut seed: u64) -> Vec<usize> {
+    let mut next = move || {
+        seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    order
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn interleaved_merges_equal_serial_reduction(
+        ops in prop::collection::vec(op_strategy(), 0..200),
+        threads in prop::collection::vec(0..4usize, 0..200),
+        perm_seed in any::<u64>(),
+    ) {
+        // Serial reduction: every op applied to one state in order.
+        let mut serial = RecorderState::new();
+        for &op in &ops {
+            apply(&mut serial, op);
+        }
+
+        // Interleaved: each op goes to its assigned thread's local state
+        // (ops beyond the assignment vector round-robin), then the thread
+        // states merge in an arbitrary order.
+        let mut locals = [
+            RecorderState::new(),
+            RecorderState::new(),
+            RecorderState::new(),
+            RecorderState::new(),
+        ];
+        for (i, &op) in ops.iter().enumerate() {
+            let t = threads.get(i).copied().unwrap_or(i % locals.len());
+            apply(&mut locals[t], op);
+        }
+        let mut merged = RecorderState::new();
+        for t in permutation(locals.len(), perm_seed) {
+            merged.merge(&locals[t]);
+        }
+
+        // Counters and histograms are exactly order-independent.
+        prop_assert_eq!(merged.counters(), serial.counters());
+        prop_assert_eq!(merged.hists(), serial.hists());
+        // Gauges: counts and extrema are exact; float sums are commutative
+        // but only approximately associative, so compare with tolerance.
+        prop_assert_eq!(merged.gauges().len(), serial.gauges().len());
+        for ((mn, mg), (sn, sg)) in merged.gauges().iter().zip(serial.gauges()) {
+            prop_assert_eq!(mn, sn);
+            prop_assert_eq!(mg.count, sg.count);
+            prop_assert_eq!(mg.min, sg.min);
+            prop_assert_eq!(mg.max, sg.max);
+            let tol = 1e-9 * sg.sum.abs().max(1.0);
+            prop_assert!((mg.sum - sg.sum).abs() <= tol);
+        }
+    }
+}
+
+/// Real threads, real sink: concurrent recorders flushing in whatever
+/// order the scheduler produces must leave sink totals equal to the
+/// serial reduction.
+#[test]
+fn concurrent_recorder_flushes_match_serial_totals() {
+    let sink = TelemetrySink::enabled();
+    let threads = 8usize;
+    let per_thread = 500u64;
+
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let sink = sink.clone();
+            scope.spawn(move || {
+                let mut rec = sink.recorder(&format!("worker{t}"));
+                for i in 0..per_thread {
+                    rec.incr("cycles", 1);
+                    rec.record("latency", (t as u64) * per_thread + i);
+                    if i % 97 == 0 {
+                        rec.flush();
+                    }
+                }
+            });
+        }
+    });
+
+    let mut serial = RecorderState::new();
+    for t in 0..threads as u64 {
+        for i in 0..per_thread {
+            serial.incr("cycles", 1);
+            serial.record("latency", t * per_thread + i);
+        }
+    }
+    let totals = sink.totals();
+    assert_eq!(totals.counters(), serial.counters());
+    assert_eq!(totals.hists(), serial.hists());
+}

@@ -13,6 +13,8 @@
 //! - [`sim`]: the cycle-accurate flit-level NoC simulator.
 //! - [`workloads`]: application traffic models (PARSEC-like).
 //! - [`power`]: analytical power and area models.
+//! - [`telemetry`]: structured run telemetry — typed counters, gauges,
+//!   and histograms with JSONL/CSV export, zero-overhead when disabled.
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and
 //! `DESIGN.md`/`EXPERIMENTS.md` for the paper-reproduction index.
@@ -22,5 +24,6 @@ pub use rlnoc_core as drl;
 pub use rlnoc_nn as nn;
 pub use rlnoc_power as power;
 pub use rlnoc_sim as sim;
+pub use rlnoc_telemetry as telemetry;
 pub use rlnoc_topology as topology;
 pub use rlnoc_workloads as workloads;
