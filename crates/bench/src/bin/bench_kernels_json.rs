@@ -71,8 +71,8 @@ fn main() {
 
     // --- Blocked GEMM vs naive oracle -----------------------------------
     let (m, k, n) = (256usize, 512, 256);
-    let a = Tensor::from_vec(wave(m * k, 0.37), &[m, k]).unwrap();
-    let b = Tensor::from_vec(wave(k * n, 0.23), &[k, n]).unwrap();
+    let a = Tensor::from_vec(wave(m * k, 0.37), &[m, k]).expect("LHS data sized m*k");
+    let b = Tensor::from_vec(wave(k * n, 0.23), &[k, n]).expect("RHS data sized k*n");
     let matmul_blocked = time_secs(|| {
         black_box(black_box(&a).matmul(black_box(&b)));
     });
@@ -81,12 +81,14 @@ fn main() {
     });
 
     // --- im2col conv vs naive at the paper-8x8 stage-2 shape ------------
-    let x = Tensor::from_vec(wave(16 * 32 * 32, 0.11), &[1, 16, 32, 32]).unwrap();
+    let x = Tensor::from_vec(wave(16 * 32 * 32, 0.11), &[1, 16, 32, 32])
+        .expect("conv input data sized 16*32*32");
     let mut conv = Conv2d::new(16, 32, 3, 0);
     let conv_im2col = time_secs(|| {
         black_box(conv.forward(black_box(&x), false));
     });
-    let w = Tensor::from_vec(wave(32 * 16 * 9, 0.19), &[32, 16, 3, 3]).unwrap();
+    let w = Tensor::from_vec(wave(32 * 16 * 9, 0.19), &[32, 16, 3, 3])
+        .expect("conv weight data sized 32*16*3*3");
     let bias = Tensor::zeros(&[32]);
     let conv_naive = time_secs(|| {
         black_box(reference::conv2d_naive(
@@ -127,12 +129,14 @@ fn main() {
     let mut conv_opt_total = 0.0f64;
     let mut conv_naive_total = 0.0f64;
     for &(ic, oc, kk, side) in &conv_shapes(&cfg8) {
-        let x = Tensor::from_vec(wave(ic * side * side, 0.13), &[1, ic, side, side]).unwrap();
+        let x = Tensor::from_vec(wave(ic * side * side, 0.13), &[1, ic, side, side])
+            .expect("layer input data sized ic*side*side");
         let mut c = Conv2d::new(ic, oc, kk, 0);
         conv_opt_total += time_secs(|| {
             black_box(c.forward(black_box(&x), false));
         });
-        let w = Tensor::from_vec(wave(oc * ic * kk * kk, 0.29), &[oc, ic, kk, kk]).unwrap();
+        let w = Tensor::from_vec(wave(oc * ic * kk * kk, 0.29), &[oc, ic, kk, kk])
+            .expect("layer weight data sized oc*ic*k*k");
         let bias = Tensor::zeros(&[oc]);
         conv_naive_total += time_secs(|| {
             black_box(reference::conv2d_naive(
@@ -147,7 +151,7 @@ fn main() {
 
     // --- Cached vs uncached exploration cycles --------------------------
     rlnoc_nn::kernels::set_matmul_threads(0);
-    let env = RouterlessEnv::new(Grid::square(4).unwrap(), 6);
+    let env = RouterlessEnv::new(Grid::square(4).expect("4x4 grid is within bounds"), 6);
     let cycles = 6usize;
     let mut cached_cfg = ExplorerConfig::fast();
     cached_cfg.eval_cache_capacity = 4096;

@@ -223,7 +223,7 @@ fn main() {
             &summary
                 .iter()
                 .find(|(n, kk, _)| n == name && *kk == k)
-                .unwrap()
+                .unwrap_or_else(|| panic!("summary has a row for design {name} at k={k}"))
                 .2
         };
         let (rec_k, drl_k) = (row("REC"), row("DRL"));

@@ -2,11 +2,27 @@
 //!
 //! A checkpoint captures the *learned* state of a run — the parent
 //! network's parameters and generation, the number of cycles completed, and
-//! the best design found so far — as one JSON file written atomically
-//! (temp file + rename), so a killed run restarts where it left off
-//! instead of from scratch. The search tree and evaluation cache are
+//! the best design found so far. The search tree and evaluation cache are
 //! deliberately not captured: both are derived state the restored network
 //! re-learns, and the cache is invalidated by any parameter change anyway.
+//!
+//! # On-disk format (v2)
+//!
+//! ```text
+//! RLNOC-CKPT v2 <payload-bytes>\n
+//! <payload: the checkpoint as JSON>
+//! \nCRC32 <8 hex digits>\n
+//! ```
+//!
+//! The header declares the payload length (so a truncated file is
+//! distinguishable from a corrupt one) and the footer carries an IEEE
+//! CRC32 of the payload (so any bit flip is detected rather than resumed
+//! from). [`ExploreCheckpoint::save`] writes a temp file, `fsync`s it,
+//! rotates any existing checkpoint to `<path>.prev`, renames the temp file
+//! into place, and best-effort-syncs the parent directory — so at every
+//! instant there is at least one intact generation on disk, and
+//! [`ExploreCheckpoint::load_with_recovery`] falls back to `.prev` when
+//! the primary is torn. Plain-JSON v1 checkpoints (pre-CRC) still load.
 //!
 //! Consumers: [`crate::Explorer::run_checkpointed`] for the
 //! single-threaded driver and
@@ -14,18 +30,51 @@
 //! parallel learner.
 
 use crate::explorer::DesignResult;
+use crate::policy::PolicyAgent;
+use crate::resilience::NormSentinel;
+use rlnoc_nn::Tensor;
 use serde::{Deserialize, Error as SerdeError, Serialize, Value};
+use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+/// Magic prefix opening every versioned checkpoint header.
+const MAGIC: &str = "RLNOC-CKPT";
+/// Format version written by [`ExploreCheckpoint::save`].
+const VERSION: &str = "v2";
+/// Footer: `\nCRC32 ` + 8 hex digits + `\n`.
+const FOOTER_LEN: usize = 16;
 
 /// A checkpoint save/load failure.
 #[derive(Debug)]
 pub enum CheckpointError {
     /// Filesystem failure reading or writing the checkpoint file.
     Io(std::io::Error),
-    /// The file exists but does not parse as a checkpoint (corrupt,
-    /// truncated mid-write on a non-atomic filesystem, or from an
-    /// incompatible version).
+    /// The payload (or a legacy v1 file) does not parse as a checkpoint.
     Format(serde_json::Error),
+    /// The file ends before the length declared in its header: a torn
+    /// write. `.prev` recovery applies.
+    Truncated {
+        /// Bytes the header + footer promised.
+        expected: usize,
+        /// Bytes actually present.
+        found: usize,
+    },
+    /// The file is complete but its bytes fail validation (CRC mismatch,
+    /// mangled header/footer, non-UTF-8 payload). `.prev` recovery
+    /// applies. The detail names what failed, including both CRC values on
+    /// a checksum mismatch.
+    Corrupt {
+        /// Human-readable description of the failed validation.
+        detail: String,
+    },
+    /// The file is a well-formed checkpoint of an unsupported format
+    /// version. Deliberate, so no `.prev` fallback: silently resuming an
+    /// older generation under a newer format is a foot-gun.
+    VersionMismatch {
+        /// The version token found in the header.
+        found: String,
+    },
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -33,6 +82,15 @@ impl std::fmt::Display for CheckpointError {
         match self {
             CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
             CheckpointError::Format(e) => write!(f, "checkpoint format error: {e}"),
+            CheckpointError::Truncated { expected, found } => write!(
+                f,
+                "checkpoint truncated: expected {expected} bytes, found {found}"
+            ),
+            CheckpointError::Corrupt { detail } => write!(f, "checkpoint corrupt: {detail}"),
+            CheckpointError::VersionMismatch { found } => write!(
+                f,
+                "checkpoint version mismatch: found `{found}`, this build reads {VERSION}"
+            ),
         }
     }
 }
@@ -42,6 +100,7 @@ impl std::error::Error for CheckpointError {
         match self {
             CheckpointError::Io(e) => Some(e),
             CheckpointError::Format(e) => Some(e),
+            _ => None,
         }
     }
 }
@@ -58,11 +117,54 @@ impl From<serde_json::Error> for CheckpointError {
     }
 }
 
+/// Which on-disk generation a recovered load came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointSource {
+    /// The primary checkpoint file was intact.
+    Primary,
+    /// The primary was missing or damaged; the rotated `.prev` generation
+    /// was used (the run re-executes the cycles since that save, which the
+    /// batch-pure replay design makes bit-identical).
+    Previous,
+}
+
+/// IEEE CRC32 (the zlib/PNG polynomial), table-driven.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *entry = c;
+        }
+        table
+    });
+    let mut c = !0u32;
+    for &b in bytes {
+        c = table[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// The rotated previous-generation path: `<path>.prev`.
+pub fn prev_path(path: &Path) -> PathBuf {
+    let mut p = path.as_os_str().to_owned();
+    p.push(".prev");
+    PathBuf::from(p)
+}
+
 /// Where and how often to checkpoint.
 #[derive(Debug, Clone)]
 pub struct CheckpointConfig {
-    /// Checkpoint file location. If the file exists when a checkpointed
-    /// run starts, the run resumes from it.
+    /// Checkpoint file location. If the file (or its `.prev` rotation)
+    /// exists when a checkpointed run starts, the run resumes from it.
     pub path: PathBuf,
     /// Save every this many completed cycles (clamped to ≥ 1); a final
     /// save always happens at completion.
@@ -79,6 +181,88 @@ impl CheckpointConfig {
     }
 }
 
+/// Optimizer and anomaly-sentinel state saved alongside the parameters.
+///
+/// Adam's moment estimates are not parameters, so a checkpoint holding
+/// only [`ExploreCheckpoint::params`] restores the *weights* but restarts
+/// bias correction from step zero — every post-resume update then differs
+/// from the uninterrupted run's. Capturing this state is what makes
+/// resume-after-crash bit-identical to never crashing (asserted by
+/// `tests/chaos.rs`). Absent from a checkpoint (legacy v1 files and early
+/// v2 saves), resume falls back to the old fresh-optimizer behavior.
+#[derive(Debug, Clone)]
+pub struct LearnerState {
+    /// Adam step count.
+    pub adam_t: u64,
+    /// Adam first-moment estimates, one per parameter tensor.
+    pub adam_m: Vec<Tensor>,
+    /// Adam second-moment estimates, one per parameter tensor.
+    pub adam_v: Vec<Tensor>,
+    /// Gradient-norm sentinel EWMA (see [`NormSentinel`]).
+    pub sentinel_ewma: f64,
+    /// Accepted steps the sentinel has observed.
+    pub sentinel_observed: u64,
+}
+
+impl LearnerState {
+    /// Captures the agent's optimizer and sentinel state for saving.
+    pub fn capture(agent: &PolicyAgent) -> Self {
+        let (adam_t, adam_m, adam_v, sentinel) = agent.optimizer_snapshot();
+        LearnerState {
+            adam_t,
+            adam_m,
+            adam_v,
+            sentinel_ewma: sentinel.ewma(),
+            sentinel_observed: sentinel.observed(),
+        }
+    }
+
+    /// Restores the captured state into a resumed agent.
+    pub fn restore_into(&self, agent: &mut PolicyAgent) {
+        agent.restore_optimizer(
+            self.adam_t,
+            self.adam_m.clone(),
+            self.adam_v.clone(),
+            NormSentinel::from_parts(self.sentinel_ewma, self.sentinel_observed),
+        );
+    }
+}
+
+impl Serialize for LearnerState {
+    fn serialize(&self) -> Value {
+        Value::Object(vec![
+            (String::from("adam_t"), self.adam_t.serialize()),
+            (String::from("adam_m"), self.adam_m.serialize()),
+            (String::from("adam_v"), self.adam_v.serialize()),
+            (
+                String::from("sentinel_ewma"),
+                self.sentinel_ewma.serialize(),
+            ),
+            (
+                String::from("sentinel_observed"),
+                self.sentinel_observed.serialize(),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for LearnerState {
+    fn deserialize(value: &Value) -> Result<Self, SerdeError> {
+        let field = |name: &str| {
+            value.get(name).ok_or_else(|| {
+                SerdeError::custom(format!("missing field `{name}` in LearnerState"))
+            })
+        };
+        Ok(LearnerState {
+            adam_t: u64::deserialize(field("adam_t")?)?,
+            adam_m: Vec::deserialize(field("adam_m")?)?,
+            adam_v: Vec::deserialize(field("adam_v")?)?,
+            sentinel_ewma: f64::deserialize(field("sentinel_ewma")?)?,
+            sentinel_observed: u64::deserialize(field("sentinel_observed")?)?,
+        })
+    }
+}
+
 /// The durable state of an exploration run.
 #[derive(Debug, Clone)]
 pub struct ExploreCheckpoint<E> {
@@ -90,6 +274,9 @@ pub struct ExploreCheckpoint<E> {
     pub param_generation: u64,
     /// Snapshot of the (parent) network parameters.
     pub params: Vec<rlnoc_nn::Tensor>,
+    /// Optimizer + sentinel state matching [`ExploreCheckpoint::params`].
+    /// `None` in legacy checkpoints, where resume restarts the optimizer.
+    pub learner: Option<LearnerState>,
     /// Best successful design found so far, across all runs.
     pub best: Option<DesignResult<E>>,
 }
@@ -105,6 +292,7 @@ impl<E: Serialize> Serialize for ExploreCheckpoint<E> {
                 self.param_generation.serialize(),
             ),
             (String::from("params"), self.params.serialize()),
+            (String::from("learner"), self.learner.serialize()),
             (String::from("best"), self.best.serialize()),
         ])
     }
@@ -122,29 +310,162 @@ impl<E: Deserialize> Deserialize for ExploreCheckpoint<E> {
             seed: u64::deserialize(field("seed")?)?,
             param_generation: u64::deserialize(field("param_generation")?)?,
             params: Vec::deserialize(field("params")?)?,
+            // Tolerated when absent: legacy checkpoints predate the
+            // learner state and resume with a fresh optimizer.
+            learner: match value.get("learner") {
+                Some(v) => Option::deserialize(v)?,
+                None => None,
+            },
             best: Option::deserialize(field("best")?)?,
         })
     }
 }
 
+/// Frames `payload` in the v2 header/footer.
+fn encode_v2(payload: &str) -> Vec<u8> {
+    let mut out = format!("{MAGIC} {VERSION} {}\n", payload.len()).into_bytes();
+    out.extend_from_slice(payload.as_bytes());
+    out.extend_from_slice(format!("\nCRC32 {:08x}\n", crc32(payload.as_bytes())).as_bytes());
+    out
+}
+
 impl<E: Serialize + Deserialize> ExploreCheckpoint<E> {
-    /// Writes the checkpoint atomically: serialized to `<path>.tmp`, then
-    /// renamed over `path`, so a crash mid-write never corrupts an
-    /// existing checkpoint.
+    /// Writes the checkpoint durably and atomically: the framed payload
+    /// goes to `<path>.tmp` and is `fsync`ed, any existing checkpoint
+    /// rotates to `<path>.prev`, the temp file renames over `path`, and
+    /// the parent directory is synced (best effort — not every filesystem
+    /// supports it). A crash at any point leaves an intact generation.
     pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
         let json = serde_json::to_string(self)?;
+        let bytes = encode_v2(&json);
         let mut tmp = path.as_os_str().to_owned();
         tmp.push(".tmp");
         let tmp = PathBuf::from(tmp);
-        std::fs::write(&tmp, json)?;
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(&bytes)?;
+            file.sync_all()?;
+        }
+        if path.exists() {
+            std::fs::rename(path, prev_path(path))?;
+        }
         std::fs::rename(&tmp, path)?;
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
         Ok(())
     }
 
-    /// Reads a checkpoint back.
+    /// Reads and validates a checkpoint, distinguishing
+    /// [`CheckpointError::Truncated`] (file shorter than its header
+    /// declares), [`CheckpointError::Corrupt`] (CRC or framing damage),
+    /// and [`CheckpointError::VersionMismatch`]. Files without the v2
+    /// magic are tried as legacy plain-JSON v1 checkpoints.
     pub fn load(path: &Path) -> Result<Self, CheckpointError> {
-        let text = std::fs::read_to_string(path)?;
-        Ok(serde_json::from_str(&text)?)
+        let bytes = std::fs::read(path)?;
+        Self::decode(&bytes)
+    }
+
+    /// Parses checkpoint bytes (the validation half of
+    /// [`ExploreCheckpoint::load`], exposed for corruption tests).
+    pub fn decode(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        let magic_prefix = format!("{MAGIC} ");
+        if !bytes.starts_with(magic_prefix.as_bytes()) {
+            // Legacy v1: the whole file is bare JSON.
+            let text = std::str::from_utf8(bytes).map_err(|_| CheckpointError::Corrupt {
+                detail: "file is neither a framed checkpoint nor UTF-8 JSON".into(),
+            })?;
+            return Ok(serde_json::from_str(text)?);
+        }
+        let header_end =
+            bytes
+                .iter()
+                .position(|&b| b == b'\n')
+                .ok_or(CheckpointError::Truncated {
+                    expected: bytes.len() + 1,
+                    found: bytes.len(),
+                })?;
+        let header =
+            std::str::from_utf8(&bytes[..header_end]).map_err(|_| CheckpointError::Corrupt {
+                detail: "header is not UTF-8".into(),
+            })?;
+        let mut fields = header.split(' ');
+        let _magic = fields.next();
+        let version = fields.next().unwrap_or("");
+        if version != VERSION {
+            return Err(CheckpointError::VersionMismatch {
+                found: version.to_string(),
+            });
+        }
+        let declared: usize =
+            fields
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| CheckpointError::Corrupt {
+                    detail: format!("unparseable header `{header}`"),
+                })?;
+        let body = &bytes[header_end + 1..];
+        let expected_total = header_end + 1 + declared + FOOTER_LEN;
+        if body.len() < declared + FOOTER_LEN {
+            return Err(CheckpointError::Truncated {
+                expected: expected_total,
+                found: bytes.len(),
+            });
+        }
+        let payload = &body[..declared];
+        let footer =
+            std::str::from_utf8(&body[declared..]).map_err(|_| CheckpointError::Corrupt {
+                detail: "footer is not UTF-8".into(),
+            })?;
+        let stored = footer
+            .strip_prefix("\nCRC32 ")
+            .and_then(|rest| rest.strip_suffix('\n'))
+            .and_then(|hex| u32::from_str_radix(hex, 16).ok())
+            .ok_or_else(|| CheckpointError::Corrupt {
+                detail: format!("malformed footer `{}`", footer.escape_default()),
+            })?;
+        let computed = crc32(payload);
+        if stored != computed {
+            return Err(CheckpointError::Corrupt {
+                detail: format!("CRC mismatch: stored {stored:08x}, computed {computed:08x}"),
+            });
+        }
+        let text = std::str::from_utf8(payload).map_err(|_| CheckpointError::Corrupt {
+            detail: "payload is not UTF-8 despite matching CRC".into(),
+        })?;
+        Ok(serde_json::from_str(text)?)
+    }
+
+    /// [`ExploreCheckpoint::load`], falling back to the rotated `.prev`
+    /// generation when the primary is missing or damaged (torn write,
+    /// CRC failure, truncation, unparseable payload). Reports which
+    /// generation was used. A [`CheckpointError::VersionMismatch`] never
+    /// falls back; if the fallback also fails, the *primary's* error is
+    /// returned.
+    pub fn load_with_recovery(path: &Path) -> Result<(Self, CheckpointSource), CheckpointError> {
+        let primary = match Self::load(path) {
+            Ok(cp) => return Ok((cp, CheckpointSource::Primary)),
+            Err(e @ CheckpointError::VersionMismatch { .. }) => return Err(e),
+            Err(e) => e,
+        };
+        match Self::load(&prev_path(path)) {
+            Ok(cp) => Ok((cp, CheckpointSource::Previous)),
+            Err(_) => Err(primary),
+        }
+    }
+
+    /// Resume helper for checkpointed runs: `Ok(None)` when no generation
+    /// exists on disk (fresh start), `Ok(Some(..))` on a successful
+    /// (possibly `.prev`-recovered) load, and the typed error when a
+    /// checkpoint exists but cannot be trusted.
+    pub fn try_resume(path: &Path) -> Result<Option<(Self, CheckpointSource)>, CheckpointError> {
+        match Self::load_with_recovery(path) {
+            Ok(loaded) => Ok(Some(loaded)),
+            Err(CheckpointError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
     }
 }
 
@@ -158,14 +479,20 @@ mod tests {
         std::env::temp_dir().join(format!("rlnoc_ckpt_{}_{name}.json", std::process::id()))
     }
 
-    #[test]
-    fn save_load_roundtrip() {
+    fn sample(cycles_done: usize) -> ExploreCheckpoint<RouterlessEnv> {
         let env = RouterlessEnv::new(Grid::square(3).unwrap(), 4);
-        let cp = ExploreCheckpoint {
-            cycles_done: 7,
+        ExploreCheckpoint {
+            cycles_done,
             seed: 42,
-            param_generation: 7,
+            param_generation: cycles_done as u64,
             params: vec![rlnoc_nn::Tensor::zeros(&[2, 3])],
+            learner: Some(LearnerState {
+                adam_t: cycles_done as u64,
+                adam_m: vec![Tensor::full(&[2, 3], 0.125)],
+                adam_v: vec![Tensor::full(&[2, 3], 0.25)],
+                sentinel_ewma: 1.5,
+                sentinel_observed: cycles_done as u64,
+            }),
             best: Some(DesignResult {
                 env,
                 final_return: -1.25,
@@ -173,21 +500,38 @@ mod tests {
                 steps: 5,
                 successful: true,
             }),
-        };
+        }
+    }
+
+    fn cleanup(path: &Path) {
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_file(prev_path(path));
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let cp = sample(7);
         let path = scratch("roundtrip");
+        cleanup(&path);
         cp.save(&path).unwrap();
         let back = ExploreCheckpoint::<RouterlessEnv>::load(&path).unwrap();
         assert_eq!(back.cycles_done, 7);
         assert_eq!(back.seed, 42);
         assert_eq!(back.param_generation, 7);
         assert_eq!(back.params, cp.params);
+        let learner = back.learner.as_ref().expect("learner state round-trips");
+        assert_eq!(learner.adam_t, 7);
+        assert_eq!(learner.adam_m, cp.learner.as_ref().unwrap().adam_m);
+        assert_eq!(learner.adam_v, cp.learner.as_ref().unwrap().adam_v);
+        assert_eq!(learner.sentinel_ewma, 1.5);
+        assert_eq!(learner.sentinel_observed, 7);
         let best = back.best.unwrap();
         assert_eq!(best.final_return, -1.25);
         assert_eq!(best.cycle, 3);
         assert!(best.successful);
         // The temp file is gone after the atomic rename.
         assert!(!path.with_extension("json.tmp").exists());
-        std::fs::remove_file(&path).unwrap();
+        cleanup(&path);
     }
 
     #[test]
@@ -202,6 +546,150 @@ mod tests {
         std::fs::write(&path, b"not json {").unwrap();
         let err = ExploreCheckpoint::<RouterlessEnv>::load(&path).unwrap_err();
         assert!(matches!(err, CheckpointError::Format(_)));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn missing_learner_field_deserializes_as_none() {
+        // Legacy payloads (v1 files and early v2 saves) predate the
+        // learner field; they must load with `learner: None`, not error.
+        let stripped = match sample(5).serialize() {
+            Value::Object(fields) => {
+                Value::Object(fields.into_iter().filter(|(k, _)| k != "learner").collect())
+            }
+            other => panic!("checkpoints serialize as objects, got {other:?}"),
+        };
+        let back = ExploreCheckpoint::<RouterlessEnv>::deserialize(&stripped).unwrap();
+        assert_eq!(back.cycles_done, 5);
+        assert!(
+            back.learner.is_none(),
+            "absent field resumes optimizer-fresh"
+        );
+    }
+
+    #[test]
+    fn legacy_plain_json_still_loads() {
+        let path = scratch("legacy");
+        let json = serde_json::to_string(&sample(5)).unwrap();
+        std::fs::write(&path, json).unwrap();
+        let back = ExploreCheckpoint::<RouterlessEnv>::load(&path).unwrap();
+        assert_eq!(back.cycles_done, 5);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn truncation_is_typed() {
+        let path = scratch("truncated");
+        cleanup(&path);
+        sample(3).save(&path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        let err = ExploreCheckpoint::<RouterlessEnv>::load(&path).unwrap_err();
+        match err {
+            CheckpointError::Truncated { expected, found } => {
+                assert_eq!(expected, full.len());
+                assert_eq!(found, full.len() / 2);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        cleanup(&path);
+    }
+
+    #[test]
+    fn bit_flip_is_corrupt_with_both_crcs() {
+        let path = scratch("flipped");
+        cleanup(&path);
+        sample(3).save(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20; // flip a payload bit
+        std::fs::write(&path, &bytes).unwrap();
+        let err = ExploreCheckpoint::<RouterlessEnv>::load(&path).unwrap_err();
+        match err {
+            CheckpointError::Corrupt { detail } => {
+                assert!(detail.contains("CRC mismatch"), "{detail}")
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        cleanup(&path);
+    }
+
+    #[test]
+    fn future_version_is_mismatch_and_never_recovers() {
+        let path = scratch("version");
+        cleanup(&path);
+        sample(1).save(&path).unwrap(); // leaves a valid primary...
+        sample(2).save(&path).unwrap(); // ...rotated to .prev
+        let mut bytes = std::fs::read(&path).unwrap();
+        let v = format!("{MAGIC} {VERSION}");
+        bytes[v.len() - 1] = b'9'; // v2 -> v9
+        std::fs::write(&path, &bytes).unwrap();
+        let err = ExploreCheckpoint::<RouterlessEnv>::load(&path).unwrap_err();
+        assert!(matches!(err, CheckpointError::VersionMismatch { ref found } if found == "v9"));
+        // load_with_recovery must surface the mismatch, not fall back.
+        let err = ExploreCheckpoint::<RouterlessEnv>::load_with_recovery(&path).unwrap_err();
+        assert!(matches!(err, CheckpointError::VersionMismatch { .. }));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn save_rotates_prev_and_recovery_uses_it() {
+        let path = scratch("rotate");
+        cleanup(&path);
+        sample(1).save(&path).unwrap();
+        assert!(
+            !prev_path(&path).exists(),
+            "first save has nothing to rotate"
+        );
+        sample(2).save(&path).unwrap();
+        assert!(prev_path(&path).exists(), "second save rotates the first");
+
+        let (cp, source) = ExploreCheckpoint::<RouterlessEnv>::load_with_recovery(&path).unwrap();
+        assert_eq!(cp.cycles_done, 2);
+        assert_eq!(source, CheckpointSource::Primary);
+
+        // Tear the primary: recovery serves the rotated generation.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let (cp, source) = ExploreCheckpoint::<RouterlessEnv>::load_with_recovery(&path).unwrap();
+        assert_eq!(cp.cycles_done, 1);
+        assert_eq!(source, CheckpointSource::Previous);
+
+        // Both generations damaged: the primary's typed error surfaces.
+        std::fs::write(prev_path(&path), b"\0\0\0").unwrap();
+        let err = ExploreCheckpoint::<RouterlessEnv>::load_with_recovery(&path).unwrap_err();
+        assert!(matches!(err, CheckpointError::Truncated { .. }));
+        assert!(ExploreCheckpoint::<RouterlessEnv>::try_resume(&path).is_err());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn try_resume_distinguishes_fresh_start() {
+        let path = scratch("fresh");
+        cleanup(&path);
+        assert!(ExploreCheckpoint::<RouterlessEnv>::try_resume(&path)
+            .unwrap()
+            .is_none());
+        sample(4).save(&path).unwrap();
+        let (cp, _) = ExploreCheckpoint::<RouterlessEnv>::try_resume(&path)
+            .unwrap()
+            .expect("saved checkpoint resumes");
+        assert_eq!(cp.cycles_done, 4);
+        // Primary deleted but .prev present: still resumes.
+        sample(5).save(&path).unwrap();
         std::fs::remove_file(&path).unwrap();
+        let (cp, source) = ExploreCheckpoint::<RouterlessEnv>::try_resume(&path)
+            .unwrap()
+            .expect("prev generation resumes");
+        assert_eq!(cp.cycles_done, 4);
+        assert_eq!(source, CheckpointSource::Previous);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
     }
 }

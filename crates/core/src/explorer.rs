@@ -6,6 +6,7 @@ use crate::checkpoint::{CheckpointConfig, CheckpointError, ExploreCheckpoint};
 use crate::env::Environment;
 use crate::mcts::{Mcts, MctsConfig};
 use crate::policy::{Episode, Evaluation, PolicyAgent, Step, TrainConfig, TrainStats};
+use crate::resilience::ResilienceConfig;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use rlnoc_nn::PolicyValueConfig;
@@ -54,6 +55,11 @@ pub struct ExplorerConfig {
     /// disabled sink compiles the probes down to a branch — exploration
     /// results are bit-identical either way.
     pub telemetry: TelemetrySink,
+    /// Training-run resilience policy (anomaly detection/rollback and
+    /// stalled-worker supervision), honored by the supervised parallel
+    /// drivers. Detection is read-only, so zero-anomaly runs are
+    /// bit-identical with the layer on or off.
+    pub resilience: ResilienceConfig,
 }
 
 impl ExplorerConfig {
@@ -71,6 +77,7 @@ impl ExplorerConfig {
             net: None,
             eval_cache_capacity: 4096,
             telemetry: TelemetrySink::disabled(),
+            resilience: ResilienceConfig::default(),
         }
     }
 }
@@ -542,8 +549,9 @@ where
     /// Runs up to `total_cycles` cycles with periodic checkpointing: if
     /// [`CheckpointConfig::path`] exists the run resumes from it (network
     /// parameters and best design restored, only the remaining cycles
-    /// executed); every [`CheckpointConfig::every`] cycles, and at
-    /// completion, the state is saved atomically.
+    /// executed), falling back to the rotated `.prev` generation if the
+    /// primary is torn; every [`CheckpointConfig::every`] cycles, and at
+    /// completion, the state is saved atomically and durably.
     ///
     /// The RNG stream is re-derived at each batch boundary from the seed
     /// and the global cycle index, so resuming from a given checkpoint is
@@ -564,10 +572,12 @@ where
     ) -> Result<CheckpointedRun<E>, CheckpointError> {
         let mut done = 0usize;
         let mut best: Option<DesignResult<E>> = None;
-        if ckpt.path.exists() {
-            let cp = ExploreCheckpoint::<E>::load(&ckpt.path)?;
+        if let Some((cp, _source)) = ExploreCheckpoint::<E>::try_resume(&ckpt.path)? {
             self.agent.net_mut().load_params(&cp.params);
             self.agent.set_param_generation(cp.param_generation);
+            if let Some(learner) = &cp.learner {
+                learner.restore_into(&mut self.agent);
+            }
             done = cp.cycles_done;
             best = cp.best;
         }
@@ -597,6 +607,7 @@ where
                 seed: self.seed,
                 param_generation: self.agent.param_generation(),
                 params: self.agent.net_mut().param_snapshot(),
+                learner: Some(crate::checkpoint::LearnerState::capture(&self.agent)),
                 best: best.clone(),
             }
             .save(&ckpt.path)?;

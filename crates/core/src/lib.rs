@@ -38,6 +38,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cache;
+pub mod chaos;
 pub mod checkpoint;
 pub mod env;
 pub mod envs;
@@ -47,10 +48,12 @@ pub mod mcts;
 pub mod parallel;
 pub mod policy;
 pub mod replay;
+pub mod resilience;
 pub mod rollout;
 pub mod routerless;
 
 pub use cache::{CacheStats, EvalCache, EvalCacheHandle, NoCache};
+pub use chaos::{ChaosInjector, ChaosPlan};
 pub use checkpoint::{CheckpointConfig, CheckpointError, ExploreCheckpoint};
 pub use env::Environment;
 pub use explorer::{CheckpointedRun, DesignResult, ExploreReport, Explorer, ExplorerConfig};
@@ -60,4 +63,5 @@ pub use parallel::{
     JoinError, SupervisedReport, SupervisionConfig, SupervisionReport,
 };
 pub use policy::{Episode, PolicyAgent, Step, TrainConfig};
+pub use resilience::{AnomalyKind, AnomalyPolicy, AnomalyReport, ResilienceConfig, WatchdogConfig};
 pub use routerless::{DesignConstraints, LoopAction, RouterlessEnv};

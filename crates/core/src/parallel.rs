@@ -24,11 +24,13 @@
 //! left off.
 
 use crate::cache::{CacheStats, EvalCache, EvalCacheHandle};
-use crate::checkpoint::{CheckpointConfig, CheckpointError, ExploreCheckpoint};
+use crate::chaos::{ChaosInjector, StartOutcome};
+use crate::checkpoint::{CheckpointConfig, CheckpointError, CheckpointSource, ExploreCheckpoint};
 use crate::env::Environment;
 use crate::explorer::{DesignResult, ExploreReport, ExplorerConfig, TreeHandle};
 use crate::mcts::Mcts;
 use crate::policy::{Evaluation, PolicyAgent, TrainStats};
+use crate::resilience::{first_non_finite, AnomalyKind, AnomalyPolicy, AnomalyReport};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -36,8 +38,9 @@ use rlnoc_telemetry::Recorder;
 use serde::{Deserialize, Serialize};
 use std::cell::Cell;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Error returned when a shared resource cannot be reclaimed at shutdown
 /// because handles to it are still alive (a worker leaked its clone).
@@ -241,6 +244,21 @@ pub struct SupervisionReport {
     pub respawns: u64,
     /// Workers that exhausted their respawn budget and were written off.
     pub workers_lost: usize,
+    /// Numerical anomalies detected (each one is a discarded update and a
+    /// retried cycle; per-kind breakdown in [`SupervisedReport`]'s log and
+    /// the `anomaly.*` telemetry counters).
+    pub anomalies: u64,
+    /// Anomalies whose handling rolled the parent parameters back to the
+    /// pre-step snapshot (post-step NaN/Inf detections).
+    pub rollbacks: u64,
+    /// Workers quarantined after exceeding
+    /// [`crate::resilience::AnomalyPolicy::max_retries`] consecutive
+    /// anomalies.
+    pub quarantined: usize,
+    /// Stalls flagged by the watchdog (heartbeat older than the deadline).
+    pub stalls_detected: u64,
+    /// Watchdog interrupts honored by a worker that then resumed normally.
+    pub stalls_recovered: u64,
 }
 
 /// A supervised exploration outcome: the merged report plus what the
@@ -249,11 +267,13 @@ pub struct SupervisionReport {
 pub struct SupervisedReport<E> {
     /// The merged exploration report (cycles run in *this* process).
     pub report: ExploreReport<E>,
-    /// Panic/respawn accounting.
+    /// Panic/respawn/anomaly accounting.
     pub supervision: SupervisionReport,
     /// Cycles already completed by a previous run when resuming from a
     /// checkpoint (0 unless [`explore_parallel_checkpointed`] resumed).
     pub resumed_from: usize,
+    /// Every numerical anomaly detected and survived, in detection order.
+    pub anomaly_log: Vec<AnomalyReport>,
 }
 
 /// Typed failure modes of the supervised exploration drivers.
@@ -274,6 +294,18 @@ pub enum ExploreError<E> {
     /// Saving or loading a checkpoint failed
     /// (only from [`explore_parallel_checkpointed`]).
     Checkpoint(CheckpointError),
+    /// A persistent numerical anomaly survived every rollback/retry and
+    /// quarantined enough workers that the run could not finish. The
+    /// partial results (all of them produced by *accepted* updates) are
+    /// preserved.
+    Numerical {
+        /// The anomaly that quarantined the last worker.
+        report: AnomalyReport,
+        /// Everything that completed before the pool was quarantined.
+        partial: Box<SupervisedReport<E>>,
+        /// The cycle count originally requested.
+        requested: usize,
+    },
 }
 
 impl<E> std::fmt::Display for ExploreError<E> {
@@ -288,6 +320,19 @@ impl<E> std::fmt::Display for ExploreError<E> {
             ),
             ExploreError::Join(e) => write!(f, "{e}"),
             ExploreError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
+            ExploreError::Numerical {
+                report,
+                partial,
+                requested,
+            } => write!(
+                f,
+                "persistent numerical anomaly after {} of {} cycles ({} anomalies, \
+                 {} workers quarantined): {report}",
+                partial.report.cycles_run,
+                requested,
+                partial.supervision.anomalies,
+                partial.supervision.quarantined
+            ),
         }
     }
 }
@@ -356,12 +401,27 @@ fn publish_run_summary<A>(
         rec.incr("worker.panics", s.panics);
         rec.incr("worker.respawns", s.respawns);
         rec.incr("worker.lost", s.workers_lost as u64);
+        rec.incr("anomaly.total", s.anomalies);
+        rec.incr("anomaly.rollbacks", s.rollbacks);
+        rec.incr("worker.quarantined", s.quarantined as u64);
+        rec.incr("watchdog.stalls_detected", s.stalls_detected);
+        rec.incr("watchdog.stalls_recovered", s.stalls_recovered);
     }
 }
 
 /// One complete worker cycle: pull parameters, run an episode against the
 /// shared tree, push gradients, warm the cache, record the result. Shared
 /// by the supervised and unsupervised drivers.
+///
+/// The cycle is *transactional* with respect to numerical anomalies: the
+/// episode runs, its gradients are validated, and the parent optimizer
+/// step is guarded — all **before** the tree backup and result push. On
+/// `Err` nothing observable has committed except tree expansions and
+/// cache stores (both re-derived bit-identically by a retry under the same
+/// parameters) and the local replica's batch-norm running statistics; a
+/// caller that restores its RNG *and* the local net's norm snapshot and
+/// retries reproduces the clean run exactly. With `policy.enabled` false
+/// and no injector this is the historical unguarded cycle.
 #[allow(clippy::too_many_arguments)]
 fn run_worker_cycle<E: Environment>(
     env: &mut E,
@@ -375,7 +435,9 @@ fn run_worker_cycle<E: Environment>(
     results: &Mutex<Vec<DesignResult<E>>>,
     stats_log: &Mutex<Vec<TrainStats>>,
     rec: &mut Recorder,
-) {
+    policy: &AnomalyPolicy,
+    chaos: Option<&ChaosInjector>,
+) -> Result<(), AnomalyKind> {
     let timer = rec.timer();
     // θ: parent → child, tagged with the parent's generation so cached
     // evaluations stay consistent.
@@ -389,22 +451,56 @@ fn run_worker_cycle<E: Environment>(
 
     let (episode, path) = crate::explorer::run_episode(env, local, tree, cache, config, rng);
     let returns = episode.returns(config.train.gamma);
-    tree.backup(&path, &returns);
 
-    // dθ: child → parent. The post-step snapshot is taken under the same
-    // lock so it is consistent with the generation it is tagged with.
+    // dθ: child → parent, validated before anything commits.
     let mut stats = local.accumulate_episode(env, &episode);
-    let grads = local.net_mut().grad_snapshot();
+    let mut grads = local.net_mut().grad_snapshot();
+    if let Some(injector) = chaos {
+        injector.corrupt_grads(cycle, &mut grads);
+    }
+    if policy.enabled {
+        if !stats.policy_loss.is_finite() || !stats.value_loss.is_finite() {
+            return Err(AnomalyKind::NonFiniteLoss {
+                policy_loss: stats.policy_loss,
+                value_loss: stats.value_loss,
+            });
+        }
+        if let Some(tensor) = first_non_finite(&grads) {
+            return Err(AnomalyKind::NonFiniteGrad { tensor });
+        }
+    }
     let stepped = {
         let mut p = parent.lock();
+        let pre_step = if policy.enabled {
+            Some(p.capture_step_state())
+        } else {
+            None
+        };
         p.net_mut().accumulate_grads(&grads);
-        stats.grad_norm = p.step_optimizer();
+        stats.grad_norm = p.step_optimizer_guarded(policy)?;
+        if let Some(injector) = chaos {
+            if injector.take_param_corruption(cycle) {
+                p.net_mut().params_mut()[0].value.as_mut_slice()[0] = f32::NAN;
+            }
+        }
+        if let Some(pre_step) = &pre_step {
+            if let Some(tensor) = p.first_non_finite_param() {
+                p.restore_step_state(pre_step);
+                return Err(AnomalyKind::NonFiniteParam { tensor });
+            }
+        }
         if config.eval_cache_capacity > 0 {
             Some((p.net_mut().param_snapshot(), p.param_generation()))
         } else {
             None
         }
     };
+    // Commit point: the parent accepted the update, so the episode's tree
+    // statistics become visible. (Backup after the step keeps aborted
+    // cycles free of observable side effects; at one thread the ordering
+    // relative to the step is indistinguishable, and across threads the
+    // interleaving was never deterministic.)
+    tree.backup(&path, &returns);
     // Warm the shared cache under the new parameters: one batched forward
     // over this episode's visited states, so the next cycle's root
     // expansion (any worker) hits.
@@ -435,6 +531,7 @@ fn run_worker_cycle<E: Environment>(
         cycle,
         steps: episode.steps.len(),
     });
+    Ok(())
 }
 
 /// Runs `total_cycles` exploration cycles split across `threads` child
@@ -502,10 +599,15 @@ where
                         *c += 1;
                         mine
                     };
+                    let disabled = AnomalyPolicy {
+                        enabled: false,
+                        ..AnomalyPolicy::default()
+                    };
                     run_worker_cycle(
                         &mut env, &mut local, &mut tree, &mut cache, &parent, &config, &mut rng,
-                        cycle, &results, &stats_log, &mut rec,
-                    );
+                        cycle, &results, &stats_log, &mut rec, &disabled, None,
+                    )
+                    .expect("a disabled guard never rejects a cycle");
                 }
                 drop(rlnoc_nn::instrument::take());
             });
@@ -606,16 +708,24 @@ where
     E: Environment + Send + Sync + Serialize + Deserialize,
     E::Action: Send + Sync,
 {
-    let (resumed_from, restored_params, restored_best) = if ckpt.path.exists() {
-        let cp = ExploreCheckpoint::<E>::load(&ckpt.path)?;
-        (
-            cp.cycles_done,
-            Some((cp.params, cp.param_generation)),
-            cp.best,
-        )
-    } else {
-        (0, None, None)
-    };
+    let mut rec = config.telemetry.recorder("checkpoint");
+    let (resumed_from, restored_params, restored_learner, restored_best) =
+        match ExploreCheckpoint::<E>::try_resume(&ckpt.path)? {
+            Some((cp, source)) => {
+                if source == CheckpointSource::Previous {
+                    // The primary was torn or corrupt; we recovered from the
+                    // rotated `.prev` generation.
+                    rec.incr("checkpoint.recovered_prev", 1);
+                }
+                (
+                    cp.cycles_done,
+                    Some((cp.params, cp.param_generation)),
+                    cp.learner,
+                    cp.best,
+                )
+            }
+            None => (0, None, None, None),
+        };
     let every = ckpt.every.max(1);
     let mut parent_agent = match &config.net {
         Some(net_cfg) => PolicyAgent::new(net_cfg.clone(), config.train.clone(), seed),
@@ -625,13 +735,18 @@ where
         parent_agent.net_mut().load_params(params);
         parent_agent.set_param_generation(*generation);
     }
+    if let Some(learner) = &restored_learner {
+        // Without the Adam moments a resumed run restarts bias correction
+        // and drifts from the uninterrupted one on its very next step.
+        learner.restore_into(&mut parent_agent);
+    }
     let parent = Mutex::new(parent_agent);
-    let mut rec = config.telemetry.recorder("checkpoint");
 
     let mut done = resumed_from;
     let mut best = restored_best;
     let mut designs: Vec<DesignResult<E>> = Vec::new();
     let mut train_history = Vec::new();
+    let mut anomaly_log: Vec<AnomalyReport> = Vec::new();
     let mut sup_total = SupervisionReport::default();
     let mut cache_total = CacheStats::default();
     while done < total_cycles {
@@ -669,13 +784,18 @@ where
                 }
                 designs.extend(r.report.designs);
                 train_history.extend(r.report.train_history);
+                anomaly_log.extend(r.anomaly_log);
                 done += batch;
             }
+            // Partial-result errors: fold the failed batch into the
+            // cumulative report so the caller sees the whole run so far,
+            // not just the final batch.
             Err(ExploreError::WorkersExhausted { partial, .. }) => {
                 merge_supervision(&mut sup_total, &partial.supervision);
                 cache_total.merge(partial.report.cache_stats);
                 designs.extend(partial.report.designs);
                 train_history.extend(partial.report.train_history);
+                anomaly_log.extend(partial.anomaly_log);
                 designs.sort_by_key(|d| d.cycle);
                 return Err(ExploreError::WorkersExhausted {
                     partial: Box::new(SupervisedReport {
@@ -687,6 +807,32 @@ where
                         },
                         supervision: sup_total,
                         resumed_from,
+                        anomaly_log,
+                    }),
+                    requested: total_cycles,
+                });
+            }
+            Err(ExploreError::Numerical {
+                report, partial, ..
+            }) => {
+                merge_supervision(&mut sup_total, &partial.supervision);
+                cache_total.merge(partial.report.cache_stats);
+                designs.extend(partial.report.designs);
+                train_history.extend(partial.report.train_history);
+                anomaly_log.extend(partial.anomaly_log);
+                designs.sort_by_key(|d| d.cycle);
+                return Err(ExploreError::Numerical {
+                    report,
+                    partial: Box::new(SupervisedReport {
+                        report: ExploreReport {
+                            cycles_run: designs.len(),
+                            designs,
+                            train_history,
+                            cache_stats: cache_total,
+                        },
+                        supervision: sup_total,
+                        resumed_from,
+                        anomaly_log,
                     }),
                     requested: total_cycles,
                 });
@@ -694,15 +840,20 @@ where
             Err(e) => return Err(e),
         }
         let timer = rec.timer();
-        let (params, param_generation) = {
+        let (params, param_generation, learner) = {
             let mut p = parent.lock();
-            (p.net_mut().param_snapshot(), p.param_generation())
+            (
+                p.net_mut().param_snapshot(),
+                p.param_generation(),
+                crate::checkpoint::LearnerState::capture(&p),
+            )
         };
         ExploreCheckpoint {
             cycles_done: done,
             seed,
             param_generation,
             params,
+            learner: Some(learner),
             best: best.clone(),
         }
         .save(&ckpt.path)?;
@@ -722,14 +873,21 @@ where
         },
         supervision: sup_total,
         resumed_from,
+        anomaly_log,
     })
 }
 
-/// Adds `batch`'s supervision accounting into `total`.
+/// Adds `batch`'s supervision accounting into `total`. The per-batch
+/// anomaly logs are concatenated separately by the caller.
 fn merge_supervision(total: &mut SupervisionReport, batch: &SupervisionReport) {
     total.panics += batch.panics;
     total.respawns += batch.respawns;
     total.workers_lost += batch.workers_lost;
+    total.anomalies += batch.anomalies;
+    total.rollbacks += batch.rollbacks;
+    total.quarantined += batch.quarantined;
+    total.stalls_detected += batch.stalls_detected;
+    total.stalls_recovered += batch.stalls_recovered;
 }
 
 /// The shared body of the supervised drivers: one batch of `total_cycles`
@@ -737,6 +895,24 @@ fn merge_supervision(total: &mut SupervisionReport, batch: &SupervisionReport) {
 /// shared tree and evaluation cache. Designs are tagged with
 /// `cycle_offset + local_cycle` so multi-batch callers
 /// ([`explore_parallel_checkpointed`]) report global indices.
+///
+/// # Resilience mechanics
+///
+/// Per worker and cycle: the worker's RNG is cloned before each attempt;
+/// a rejected update (see [`run_worker_cycle`]) restores the clone, backs
+/// off exponentially, and retries — so a transient anomaly's recovery is
+/// bit-identical to the never-faulted run. A worker whose *consecutive*
+/// anomaly count exceeds [`crate::resilience::AnomalyPolicy::max_retries`]
+/// is quarantined: its cycle is requeued for surviving workers and the
+/// run ends in [`ExploreError::Numerical`] if nobody else can finish.
+/// Worker panics take the same escrow: the RNG clone survives outside
+/// `catch_unwind`, so the respawned incarnation resumes the exact stream
+/// (falling back to the historical respawn-salted stream only if the
+/// escrow is somehow empty). A watchdog thread (see
+/// [`crate::resilience::WatchdogConfig`]) flags workers whose heartbeat
+/// stops advancing and raises their interrupt flag, which cooperative
+/// wait points honor; spurious flags only tick a counter and never change
+/// results.
 #[allow(clippy::too_many_arguments)]
 fn explore_supervised_inner<E>(
     env: &E,
@@ -755,108 +931,279 @@ where
     if threads == 0 {
         return Err(ExploreError::ZeroThreads);
     }
+    let watchdog = config.resilience.watchdog;
     let tree = SharedTree::new(Mcts::new(config.mcts));
     let cache = SharedEvalCache::new(EvalCache::new(config.eval_cache_capacity));
     let results: Mutex<Vec<DesignResult<E>>> = Mutex::new(Vec::new());
     let stats_log: Mutex<Vec<TrainStats>> = Mutex::new(Vec::new());
     let cycle_counter = Mutex::new(0usize);
-    // Cycles reclaimed from panicked workers, served before fresh ones.
+    // Cycles reclaimed from panicked or quarantined workers, served before
+    // fresh ones.
     let lost: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+    let anomaly_log: Mutex<Vec<AnomalyReport>> = Mutex::new(Vec::new());
     let panics = AtomicU64::new(0);
     let respawns = AtomicU64::new(0);
     let workers_lost = AtomicUsize::new(0);
+    let anomalies = AtomicU64::new(0);
+    let rollbacks = AtomicU64::new(0);
+    let quarantined = AtomicUsize::new(0);
+    let stalls_detected = AtomicU64::new(0);
+    let stalls_recovered = AtomicU64::new(0);
+    // Watchdog wiring: one heartbeat/interrupt/liveness slot per worker.
+    let heartbeats: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
+    let interrupts: Vec<AtomicBool> = (0..threads).map(|_| AtomicBool::new(false)).collect();
+    let alive: Vec<AtomicBool> = (0..threads).map(|_| AtomicBool::new(true)).collect();
+    let run_done = AtomicBool::new(false);
 
     std::thread::scope(|scope| {
-        for t in 0..threads {
-            let mut tree = tree.clone();
-            let mut cache = cache.clone();
-            let results = &results;
-            let stats_log = &stats_log;
-            let cycle_counter = &cycle_counter;
-            let lost = &lost;
-            let panics = &panics;
-            let respawns = &respawns;
-            let workers_lost = &workers_lost;
-            let proto = env.clone();
-            let config = config.clone();
-            scope.spawn(move || {
-                let claim = || -> Option<usize> {
-                    if let Some(c) = lost.lock().pop() {
-                        return Some(c);
-                    }
-                    let mut c = cycle_counter.lock();
-                    if *c >= total_cycles {
-                        return None;
-                    }
-                    let mine = *c;
-                    *c += 1;
-                    Some(mine)
-                };
-                // In-flight cycle of the current incarnation, visible to
-                // the supervisor below so a panic can requeue it.
-                let in_flight: Cell<Option<usize>> = Cell::new(None);
-                let mut incarnation = 0usize;
-                let mut rec = worker_recorder(&config, t);
-                loop {
-                    // Fresh incarnation state: environment clone, local DNN
-                    // replica, respawn-salted RNG.
-                    let mut env = proto.clone();
-                    let mut local = match &config.net {
-                        Some(net_cfg) => {
-                            PolicyAgent::new(net_cfg.clone(), config.train.clone(), seed)
+        let monitor = if watchdog.enabled {
+            let heartbeats = &heartbeats;
+            let interrupts = &interrupts;
+            let alive = &alive;
+            let run_done = &run_done;
+            let stalls_detected = &stalls_detected;
+            Some(scope.spawn(move || {
+                let mut last_beat: Vec<u64> = heartbeats
+                    .iter()
+                    .map(|h| h.load(Ordering::Relaxed))
+                    .collect();
+                let mut last_change = vec![Instant::now(); threads];
+                let mut flagged = vec![false; threads];
+                while !run_done.load(Ordering::Acquire) {
+                    std::thread::sleep(watchdog.poll);
+                    for t in 0..threads {
+                        if !alive[t].load(Ordering::Acquire) {
+                            continue;
                         }
-                        None => PolicyAgent::for_env(&env, config.train.clone(), seed),
-                    };
-                    let mut rng = worker_rng(seed, t, threads, incarnation);
-                    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                        while let Some(cycle) = claim() {
-                            in_flight.set(Some(cycle));
-                            run_worker_cycle(
-                                &mut env,
-                                &mut local,
-                                &mut tree,
-                                &mut cache,
-                                parent,
-                                &config,
-                                &mut rng,
-                                cycle_offset + cycle,
-                                results,
-                                stats_log,
-                                &mut rec,
-                            );
-                            in_flight.set(None);
-                        }
-                    }));
-                    match outcome {
-                        Ok(()) => break,
-                        Err(_) => {
-                            panics.fetch_add(1, Ordering::Relaxed);
-                            if let Some(cycle) = in_flight.take() {
-                                lost.lock().push(cycle);
-                            }
-                            incarnation += 1;
-                            if incarnation > supervision.max_respawns_per_worker {
-                                workers_lost.fetch_add(1, Ordering::Relaxed);
-                                break;
-                            }
-                            respawns.fetch_add(1, Ordering::Relaxed);
+                        let beat = heartbeats[t].load(Ordering::Relaxed);
+                        if beat != last_beat[t] {
+                            last_beat[t] = beat;
+                            last_change[t] = Instant::now();
+                            flagged[t] = false;
+                        } else if !flagged[t] && last_change[t].elapsed() >= watchdog.deadline {
+                            // Stalled: raise the interrupt and re-arm only
+                            // once the heartbeat moves again.
+                            stalls_detected.fetch_add(1, Ordering::Relaxed);
+                            interrupts[t].store(true, Ordering::Release);
+                            flagged[t] = true;
                         }
                     }
                 }
-                drop(rlnoc_nn::instrument::take());
-            });
+            }))
+        } else {
+            None
+        };
+        let workers: Vec<_> = (0..threads)
+            .map(|t| {
+                let mut tree = tree.clone();
+                let mut cache = cache.clone();
+                let results = &results;
+                let stats_log = &stats_log;
+                let cycle_counter = &cycle_counter;
+                let lost = &lost;
+                let anomaly_log = &anomaly_log;
+                let panics = &panics;
+                let respawns = &respawns;
+                let workers_lost = &workers_lost;
+                let anomalies = &anomalies;
+                let rollbacks = &rollbacks;
+                let quarantined = &quarantined;
+                let stalls_recovered = &stalls_recovered;
+                let heartbeat = &heartbeats[t];
+                let interrupt = &interrupts[t];
+                let alive = &alive[t];
+                let proto = env.clone();
+                let config = config.clone();
+                scope.spawn(move || {
+                    let claim = || -> Option<usize> {
+                        if let Some(c) = lost.lock().pop() {
+                            return Some(c);
+                        }
+                        let mut c = cycle_counter.lock();
+                        if *c >= total_cycles {
+                            return None;
+                        }
+                        let mine = *c;
+                        *c += 1;
+                        Some(mine)
+                    };
+                    // In-flight cycle of the current incarnation, visible
+                    // to the supervisor below so a panic or quarantine can
+                    // requeue it.
+                    let in_flight: Cell<Option<usize>> = Cell::new(None);
+                    // Escrow: the worker RNG plus the local replica's
+                    // batch-norm running statistics, updated at every cycle
+                    // boundary and read by the next incarnation — so a
+                    // respawn resumes the exact stream *and* forward-pass
+                    // state the panicked incarnation was on. (Parameter
+                    // snapshots deliberately exclude running statistics, so
+                    // without the escrow a respawned replica would evaluate
+                    // states slightly differently.)
+                    let escrow: Cell<Option<(StdRng, Vec<f32>)>> = Cell::new(None);
+                    let policy = config.resilience.anomaly;
+                    let chaos = config.resilience.chaos.clone();
+                    let mut incarnation = 0usize;
+                    let mut rec = worker_recorder(&config, t);
+                    loop {
+                        // Fresh incarnation state: environment clone, local
+                        // DNN replica, escrowed (or respawn-salted) RNG.
+                        let mut env = proto.clone();
+                        let mut local = match &config.net {
+                            Some(net_cfg) => {
+                                PolicyAgent::new(net_cfg.clone(), config.train.clone(), seed)
+                            }
+                            None => PolicyAgent::for_env(&env, config.train.clone(), seed),
+                        };
+                        let mut rng = match escrow.take() {
+                            Some((rng, norm)) => {
+                                local.net_mut().load_norm_snapshot(&norm);
+                                rng
+                            }
+                            None => worker_rng(seed, t, threads, incarnation),
+                        };
+                        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| -> bool {
+                            let mut consecutive = 0usize;
+                            while let Some(cycle) = claim() {
+                                in_flight.set(Some(cycle));
+                                heartbeat.fetch_add(1, Ordering::Relaxed);
+                                if interrupt.swap(false, Ordering::AcqRel) {
+                                    // Spurious (or late) watchdog flag:
+                                    // consume it and carry on — results are
+                                    // unaffected by construction.
+                                    stalls_recovered.fetch_add(1, Ordering::Relaxed);
+                                }
+                                escrow.set(Some((rng.clone(), local.net_mut().norm_snapshot())));
+                                if let Some(injector) = &chaos {
+                                    if let StartOutcome::Stalled { interrupted } =
+                                        injector.on_cycle_start(cycle_offset + cycle, interrupt)
+                                    {
+                                        if interrupted {
+                                            stalls_recovered.fetch_add(1, Ordering::Relaxed);
+                                        }
+                                    }
+                                }
+                                loop {
+                                    // Transactional attempt state: worker
+                                    // RNG and the local replica's batch-norm
+                                    // running statistics (which the training
+                                    // forward advances even when the update
+                                    // is later rejected).
+                                    let attempt_rng = rng.clone();
+                                    let attempt_norm =
+                                        policy.enabled.then(|| local.net_mut().norm_snapshot());
+                                    let attempt = run_worker_cycle(
+                                        &mut env,
+                                        &mut local,
+                                        &mut tree,
+                                        &mut cache,
+                                        parent,
+                                        &config,
+                                        &mut rng,
+                                        cycle_offset + cycle,
+                                        results,
+                                        stats_log,
+                                        &mut rec,
+                                        &policy,
+                                        chaos.as_ref(),
+                                    );
+                                    match attempt {
+                                        Ok(()) => {
+                                            consecutive = 0;
+                                            break;
+                                        }
+                                        Err(kind) => {
+                                            // Rewind the stream and forward
+                                            // state so the retry replays the
+                                            // clean cycle bit-identically.
+                                            rng = attempt_rng;
+                                            if let Some(norm) = &attempt_norm {
+                                                local.net_mut().load_norm_snapshot(norm);
+                                            }
+                                            consecutive += 1;
+                                            anomalies.fetch_add(1, Ordering::Relaxed);
+                                            if kind.rolled_back() {
+                                                rollbacks.fetch_add(1, Ordering::Relaxed);
+                                            }
+                                            rec.incr(kind.counter(), 1);
+                                            anomaly_log.lock().push(AnomalyReport {
+                                                kind,
+                                                worker: t,
+                                                cycle: cycle_offset + cycle,
+                                                consecutive,
+                                            });
+                                            if consecutive > policy.max_retries {
+                                                return false; // quarantine
+                                            }
+                                            let backoff = policy.backoff(consecutive);
+                                            if !backoff.is_zero() {
+                                                std::thread::sleep(backoff);
+                                            }
+                                            heartbeat.fetch_add(1, Ordering::Relaxed);
+                                        }
+                                    }
+                                }
+                                in_flight.set(None);
+                                escrow.set(Some((rng.clone(), local.net_mut().norm_snapshot())));
+                            }
+                            true
+                        }));
+                        match outcome {
+                            Ok(true) => break,
+                            Ok(false) => {
+                                // Quarantined: hand the cycle back and stop
+                                // claiming work.
+                                quarantined.fetch_add(1, Ordering::Relaxed);
+                                if let Some(cycle) = in_flight.take() {
+                                    lost.lock().push(cycle);
+                                }
+                                break;
+                            }
+                            Err(_) => {
+                                panics.fetch_add(1, Ordering::Relaxed);
+                                if let Some(cycle) = in_flight.take() {
+                                    lost.lock().push(cycle);
+                                }
+                                incarnation += 1;
+                                if incarnation > supervision.max_respawns_per_worker {
+                                    workers_lost.fetch_add(1, Ordering::Relaxed);
+                                    break;
+                                }
+                                respawns.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    alive.store(false, Ordering::Release);
+                    drop(rlnoc_nn::instrument::take());
+                })
+            })
+            .collect();
+        // Join workers first, then release the monitor: workers never
+        // unwind (everything runs under catch_unwind), so these joins
+        // cannot hang on a propagating panic.
+        for w in workers {
+            let _ = w.join();
+        }
+        run_done.store(true, Ordering::Release);
+        if let Some(m) = monitor {
+            let _ = m.join();
         }
     });
 
     let mut designs = std::mem::take(&mut *results.lock());
     designs.sort_by_key(|d| d.cycle);
     let train_history = std::mem::take(&mut *stats_log.lock());
+    let anomaly_log = std::mem::take(&mut *anomaly_log.lock());
     let cache_stats = cache.stats();
     let completed = designs.len();
     let supervision_report = SupervisionReport {
         panics: panics.load(Ordering::Relaxed),
         respawns: respawns.load(Ordering::Relaxed),
         workers_lost: workers_lost.load(Ordering::Relaxed),
+        anomalies: anomalies.load(Ordering::Relaxed),
+        rollbacks: rollbacks.load(Ordering::Relaxed),
+        quarantined: quarantined.load(Ordering::Relaxed),
+        stalls_detected: stalls_detected.load(Ordering::Relaxed),
+        stalls_recovered: stalls_recovered.load(Ordering::Relaxed),
     };
     publish_run_summary(
         config,
@@ -866,6 +1213,7 @@ where
         parent.lock().param_generation(),
         Some(&supervision_report),
     );
+    let last_anomaly = anomaly_log.last().copied();
     let out = SupervisedReport {
         report: ExploreReport {
             cycles_run: completed,
@@ -875,8 +1223,17 @@ where
         },
         supervision: supervision_report,
         resumed_from: cycle_offset,
+        anomaly_log,
     };
     if completed < total_cycles {
+        if supervision_report.quarantined > 0 {
+            let report = last_anomaly.expect("quarantine implies a recorded anomaly");
+            return Err(ExploreError::Numerical {
+                report,
+                partial: Box::new(out),
+                requested: cycle_offset + total_cycles,
+            });
+        }
         return Err(ExploreError::WorkersExhausted {
             partial: Box::new(out),
             requested: cycle_offset + total_cycles,

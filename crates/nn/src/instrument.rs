@@ -38,6 +38,33 @@ pub fn is_active() -> bool {
     RECORDER.with(|slot| slot.borrow().is_some())
 }
 
+/// Installs `recorder` for the lifetime of the returned guard, restoring
+/// whatever was previously installed (usually nothing) on drop. Panic-safe:
+/// an unwinding scope still flushes the scoped recorder and puts the old
+/// one back, so chaos-injected panics cannot leak a stale sink into the
+/// respawned worker's thread.
+pub fn install_scoped(recorder: Recorder) -> InstallGuard {
+    InstallGuard {
+        prev: install(recorder),
+    }
+}
+
+/// RAII guard returned by [`install_scoped`]; see there.
+#[derive(Debug)]
+pub struct InstallGuard {
+    prev: Option<Recorder>,
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        // Dropping the outgoing recorder flushes its timings.
+        drop(take());
+        if let Some(prev) = self.prev.take() {
+            install(prev);
+        }
+    }
+}
+
 /// Starts a timer on the installed recorder (inert when none).
 pub(crate) fn start() -> Timer {
     RECORDER.with(|slot| match slot.borrow().as_ref() {
@@ -65,4 +92,49 @@ pub(crate) fn record_value(name: &'static str, value: u64) {
             rec.record(name, value);
         }
     });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlnoc_telemetry::TelemetrySink;
+
+    #[test]
+    fn install_guard_restores_previous_recorder() {
+        let outer = TelemetrySink::enabled();
+        let inner = TelemetrySink::enabled();
+        drop(take());
+        install(outer.recorder("outer"));
+        {
+            let _guard = install_scoped(inner.recorder("inner"));
+            assert!(is_active());
+            record_value("probe.samples", 1);
+        }
+        // Scoped recorder flushed on drop; the outer one is back.
+        assert!(is_active());
+        assert!(
+            inner.totals().hist("probe.samples").is_some(),
+            "inner recorder flushed its state"
+        );
+        assert!(outer.totals().hist("probe.samples").is_none());
+        drop(take());
+        assert!(!is_active());
+    }
+
+    #[test]
+    fn install_guard_flushes_on_unwind() {
+        let sink = TelemetrySink::enabled();
+        drop(take());
+        let unwound = std::panic::catch_unwind(|| {
+            let _guard = install_scoped(sink.recorder("doomed"));
+            record_value("probe.samples", 7);
+            panic!("injected");
+        });
+        assert!(unwound.is_err());
+        assert!(!is_active(), "guard removed the recorder during unwind");
+        assert!(
+            sink.totals().hist("probe.samples").is_some(),
+            "unwound scope still flushed"
+        );
+    }
 }

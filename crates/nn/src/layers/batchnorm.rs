@@ -142,6 +142,19 @@ impl Layer for BatchNorm2d {
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.gamma, &mut self.beta]
     }
+
+    fn append_norm_state(&self, out: &mut Vec<f32>) {
+        out.extend_from_slice(&self.running_mean);
+        out.extend_from_slice(&self.running_var);
+    }
+
+    fn load_norm_state(&mut self, state: &[f32]) -> usize {
+        let c = self.channels();
+        assert!(state.len() >= 2 * c, "norm state snapshot too short");
+        self.running_mean.copy_from_slice(&state[..c]);
+        self.running_var.copy_from_slice(&state[c..2 * c]);
+        2 * c
+    }
 }
 
 #[cfg(test)]

@@ -61,6 +61,17 @@ impl Layer for ResidualBlock {
         out.extend(self.bn2.params_mut());
         out
     }
+
+    fn append_norm_state(&self, out: &mut Vec<f32>) {
+        self.bn1.append_norm_state(out);
+        self.bn2.append_norm_state(out);
+    }
+
+    fn load_norm_state(&mut self, state: &[f32]) -> usize {
+        let mut used = self.bn1.load_norm_state(state);
+        used += self.bn2.load_norm_state(&state[used..]);
+        used
+    }
 }
 
 #[cfg(test)]

@@ -63,6 +63,20 @@ impl Layer for Sequential {
             .flat_map(|l| l.params_mut())
             .collect()
     }
+
+    fn append_norm_state(&self, out: &mut Vec<f32>) {
+        for layer in &self.layers {
+            layer.append_norm_state(out);
+        }
+    }
+
+    fn load_norm_state(&mut self, state: &[f32]) -> usize {
+        let mut used = 0;
+        for layer in &mut self.layers {
+            used += layer.load_norm_state(&state[used..]);
+        }
+        used
+    }
 }
 
 #[cfg(test)]

@@ -7,6 +7,11 @@ use crate::Tensor;
 
 /// Scales all gradients so their global L2 norm does not exceed
 /// `max_norm`. Returns the pre-clip norm.
+///
+/// A non-finite norm (NaN/Inf gradients, or overflow in the sum of
+/// squares) leaves the gradients untouched: rescaling by `max_norm / NaN`
+/// would poison every parameter on the following step. The norm is still
+/// returned so callers can detect and report the anomaly.
 pub fn clip_global_norm(params: &mut [&mut Param], max_norm: f32) -> f32 {
     let norm: f32 = params
         .iter()
@@ -16,7 +21,7 @@ pub fn clip_global_norm(params: &mut [&mut Param], max_norm: f32) -> f32 {
         })
         .sum::<f32>()
         .sqrt();
-    if norm > max_norm && norm > 0.0 {
+    if norm.is_finite() && norm > max_norm && norm > 0.0 {
         let scale = max_norm / norm;
         for p in params.iter_mut() {
             p.grad = p.grad.scale(scale);
@@ -113,6 +118,26 @@ impl Adam {
     /// Replaces the learning rate (for schedules).
     pub fn set_learning_rate(&mut self, lr: f32) {
         self.lr = lr;
+    }
+
+    /// Step count and first/second moment estimates, for checkpointing.
+    /// Empty moments mean the optimizer has not stepped yet.
+    pub fn state(&self) -> (u64, &[Tensor], &[Tensor]) {
+        (self.t, &self.m, &self.v)
+    }
+
+    /// Restores state captured by [`Adam::state`]. Resuming a run without
+    /// the moments silently restarts bias correction and changes every
+    /// subsequent step, so checkpoints must round-trip them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the moment vectors disagree in length.
+    pub fn restore_state(&mut self, t: u64, m: Vec<Tensor>, v: Vec<Tensor>) {
+        assert_eq!(m.len(), v.len(), "moment vectors must align");
+        self.t = t;
+        self.m = m;
+        self.v = v;
     }
 
     /// Applies one Adam step to `params`, then zeroes their gradients.
@@ -224,5 +249,33 @@ mod tests {
         }
         assert!((a.grad.as_slice()[0] - 0.6).abs() < 1e-6);
         assert!((b.grad.as_slice()[0] - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clip_leaves_grads_alone_on_non_finite_norm() {
+        let mut a = quadratic_param(0.0);
+        a.grad = Tensor::from_vec(vec![f32::NAN], &[1]).unwrap();
+        let mut b = quadratic_param(0.0);
+        b.grad = Tensor::from_vec(vec![4.0], &[1]).unwrap();
+        let norm = {
+            let mut params = [&mut a, &mut b];
+            clip_global_norm(&mut params, 1.0)
+        };
+        assert!(norm.is_nan(), "norm reported for anomaly detection: {norm}");
+        assert!(a.grad.as_slice()[0].is_nan(), "NaN grad untouched");
+        assert_eq!(
+            b.grad.as_slice(),
+            &[4.0],
+            "finite grad must not be rescaled by NaN"
+        );
+
+        let mut c = quadratic_param(0.0);
+        c.grad = Tensor::from_vec(vec![f32::INFINITY], &[1]).unwrap();
+        let norm = {
+            let mut params = [&mut c];
+            clip_global_norm(&mut params, 1.0)
+        };
+        assert_eq!(norm, f32::INFINITY);
+        assert_eq!(c.grad.as_slice()[0], f32::INFINITY, "Inf grad untouched");
     }
 }

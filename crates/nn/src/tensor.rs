@@ -202,6 +202,12 @@ impl Tensor {
         self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
     }
 
+    /// True when every element is finite (no NaN or ±Inf). Anomaly
+    /// detectors use this to scan gradients and parameters after a step.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
     /// Matrix multiplication of 2-D tensors: `[m, k] × [k, n] → [m, n]`.
     ///
     /// Runs on the cache-blocked kernel in [`crate::kernels`] (row-parallel

@@ -195,6 +195,65 @@ fn finish_row(name: String, acc: RowAcc) -> SummaryRow {
     }
 }
 
+/// Totals of the resilience layer's counters across every phase and
+/// source — the health summary an unattended run is judged by (rendered by
+/// the `exp_chaos` experiment and checked by the CI chaos-smoke job).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceSummary {
+    /// `anomaly.total`: numerical anomalies detected and handled.
+    pub anomalies: u64,
+    /// `anomaly.rollbacks`: anomalies that required a parameter rollback.
+    pub rollbacks: u64,
+    /// `worker.panics`: worker panics caught.
+    pub panics: u64,
+    /// `worker.respawns`: panicked workers respawned in place.
+    pub respawns: u64,
+    /// `worker.quarantined`: workers retired after persistent anomalies.
+    pub quarantined: u64,
+    /// `worker.lost`: workers lost past the respawn budget.
+    pub workers_lost: u64,
+    /// `watchdog.stalls_detected`: deadline overruns flagged.
+    pub stalls_detected: u64,
+    /// `watchdog.stalls_recovered`: stalls cancelled cooperatively.
+    pub stalls_recovered: u64,
+    /// `checkpoint.recovered_prev`: resumes served from `.prev` after a
+    /// torn or corrupt primary.
+    pub checkpoint_recoveries: u64,
+}
+
+impl ResilienceSummary {
+    /// Whether the run saw no faults at all (every counter zero) — the
+    /// case the bit-identity contract guarantees matched pre-resilience
+    /// behavior exactly.
+    pub fn clean(&self) -> bool {
+        *self == ResilienceSummary::default()
+    }
+}
+
+/// Folds the resilience layer's counters out of an event stream (any
+/// phase, any source). Unrelated events are ignored.
+pub fn resilience_summary(events: &[Event]) -> ResilienceSummary {
+    let mut out = ResilienceSummary::default();
+    for event in events {
+        let EventValue::Counter { value } = event.value else {
+            continue;
+        };
+        match event.name.as_str() {
+            "anomaly.total" => out.anomalies += value,
+            "anomaly.rollbacks" => out.rollbacks += value,
+            "worker.panics" => out.panics += value,
+            "worker.respawns" => out.respawns += value,
+            "worker.quarantined" => out.quarantined += value,
+            "worker.lost" => out.workers_lost += value,
+            "watchdog.stalls_detected" => out.stalls_detected += value,
+            "watchdog.stalls_recovered" => out.stalls_recovered += value,
+            "checkpoint.recovered_prev" => out.checkpoint_recoveries += value,
+            _ => {}
+        }
+    }
+    out
+}
+
 fn fmt_num(v: f64) -> String {
     if v == 0.0 {
         "0".to_string()
@@ -287,6 +346,37 @@ mod tests {
         assert!(rendered.contains("phase: explore"));
         assert!(rendered.contains("cycles"));
         assert!(rendered.contains("steps"));
+    }
+
+    #[test]
+    fn resilience_summary_folds_counters_and_ignores_noise() {
+        let sink = TelemetrySink::enabled();
+        let mut a = sink.recorder("supervisor");
+        a.incr("anomaly.total", 3);
+        a.incr("anomaly.rollbacks", 1);
+        a.incr("worker.panics", 2);
+        a.incr("worker.respawns", 2);
+        a.incr("watchdog.stalls_detected", 1);
+        a.incr("explore.cycles", 50); // unrelated counter
+        a.record("explore.steps", 5); // unrelated histogram
+        drop(a);
+        let mut b = sink.recorder("checkpoint");
+        b.incr("checkpoint.recovered_prev", 1);
+        drop(b);
+
+        let events = parse_jsonl(&sink.to_jsonl()).expect("parses");
+        let summary = resilience_summary(&events);
+        assert_eq!(summary.anomalies, 3);
+        assert_eq!(summary.rollbacks, 1);
+        assert_eq!(summary.panics, 2);
+        assert_eq!(summary.respawns, 2);
+        assert_eq!(summary.stalls_detected, 1);
+        assert_eq!(summary.stalls_recovered, 0);
+        assert_eq!(summary.quarantined, 0);
+        assert_eq!(summary.workers_lost, 0);
+        assert_eq!(summary.checkpoint_recoveries, 1);
+        assert!(!summary.clean());
+        assert!(resilience_summary(&[]).clean());
     }
 
     #[test]
